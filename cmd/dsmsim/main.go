@@ -1,0 +1,146 @@
+// Command dsmsim runs a single workload configuration on the simulated DSM
+// multiprocessor and prints its measurements: elapsed cycles, average
+// cycles per update, protocol counters, network traffic, the contention
+// histogram, and the average write-run length.
+//
+// Examples:
+//
+//	dsmsim -app counter -policy UNC -prim FAP -c 64
+//	dsmsim -app mcs -policy INV -prim CAS -ldex -a 2
+//	dsmsim -app tclosure -prim LLSC -size 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsm/internal/apps"
+	"dsm/internal/core"
+	"dsm/internal/figures"
+	"dsm/internal/locks"
+	"dsm/internal/machine"
+	"dsm/internal/report"
+	"dsm/internal/trace"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "counter", "workload: counter, tts, mcs, tclosure, locusroute, cholesky")
+		policy  = flag.String("policy", "INV", "coherence policy for sync data: INV, UPD, UNC")
+		prim    = flag.String("prim", "FAP", "primitive family: FAP, CAS, LLSC")
+		variant = flag.String("cas", "INV", "compare_and_swap variant: INV, INVd, INVs")
+		ldex    = flag.Bool("ldex", false, "pair CAS with load_exclusive")
+		drop    = flag.Bool("drop", false, "issue drop_copy after updates")
+		procs   = flag.Int("procs", 64, "simulated processors (1-64)")
+		cont    = flag.Int("c", 1, "contention level (synthetic apps)")
+		wrun    = flag.Float64("a", 1, "average write-run length (synthetic apps, c=1)")
+		rounds  = flag.Int("rounds", 16, "barrier-separated rounds (synthetic apps)")
+		size    = flag.Int("size", 32, "transitive-closure vertices")
+		traceN  = flag.Int("trace", 0, "print the last N protocol events")
+	)
+	flag.Parse()
+
+	bar := figures.Bar{
+		Policy:  parsePolicy(*policy),
+		Prim:    parsePrim(*prim),
+		Variant: parseVariant(*variant),
+		LoadEx:  *ldex,
+		Drop:    *drop,
+	}
+	o := figures.RunOpts{Procs: *procs, Rounds: *rounds, TCSize: *size}
+	m := figures.NewMachine(o, bar)
+	var tr *trace.Buffer
+	if *traceN > 0 {
+		tr = trace.New(*traceN)
+		m.System().SetTracer(tr)
+		defer func() {
+			fmt.Printf("last %d protocol events:\n", tr.Len())
+			tr.WriteTo(os.Stdout)
+		}()
+	}
+	pat := apps.Pattern{Contention: *cont, WriteRun: *wrun, Rounds: *rounds}
+
+	switch *app {
+	case "counter":
+		printSynthetic(m, apps.CounterApp(m, bar.Policy, bar.Opts(), pat))
+	case "tts":
+		printSynthetic(m, apps.TTSApp(m, bar.Policy, bar.Opts(), pat))
+	case "mcs":
+		printSynthetic(m, apps.MCSApp(m, bar.Policy, bar.Opts(), pat))
+	case "tclosure":
+		res := apps.TClosure(m, apps.TClosureConfig{
+			Size: *size, Policy: bar.Policy, Opts: bar.Opts(), Seed: 11,
+		})
+		fmt.Printf("elapsed: %d cycles, reachable pairs: %d\n", res.Elapsed, res.Reachable)
+		stats(m)
+	case "locusroute":
+		cfg := apps.DefaultLocusRoute(*procs)
+		cfg.Policy, cfg.Opts = bar.Policy, bar.Opts()
+		res := apps.LocusRoute(m, cfg)
+		fmt.Printf("elapsed: %d cycles, wires routed: %d\n", res.Elapsed, res.Work)
+		stats(m)
+	case "cholesky":
+		cfg := apps.DefaultCholesky(*procs)
+		cfg.Policy, cfg.Opts = bar.Policy, bar.Opts()
+		res := apps.Cholesky(m, cfg)
+		fmt.Printf("elapsed: %d cycles, columns factored: %d\n", res.Elapsed, res.Work)
+		stats(m)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printSynthetic(m *machine.Machine, res apps.SyntheticResult) {
+	fmt.Printf("updates: %d, elapsed: %d cycles, avg cycles/update: %.1f\n",
+		res.Updates, res.Elapsed, res.AvgCycles)
+	stats(m)
+}
+
+func stats(m *machine.Machine) {
+	report.Collect(m).WriteText(os.Stdout)
+}
+
+func parsePolicy(s string) core.Policy {
+	switch s {
+	case "INV":
+		return core.PolicyINV
+	case "UPD":
+		return core.PolicyUPD
+	case "UNC":
+		return core.PolicyUNC
+	}
+	fmt.Fprintf(os.Stderr, "unknown policy %q\n", s)
+	os.Exit(2)
+	return 0
+}
+
+func parsePrim(s string) locks.Prim {
+	switch s {
+	case "FAP":
+		return locks.PrimFAP
+	case "CAS":
+		return locks.PrimCAS
+	case "LLSC":
+		return locks.PrimLLSC
+	}
+	fmt.Fprintf(os.Stderr, "unknown primitive %q\n", s)
+	os.Exit(2)
+	return 0
+}
+
+func parseVariant(s string) core.CASVariant {
+	switch s {
+	case "INV":
+		return core.CASPlain
+	case "INVd":
+		return core.CASDeny
+	case "INVs":
+		return core.CASShare
+	}
+	fmt.Fprintf(os.Stderr, "unknown CAS variant %q\n", s)
+	os.Exit(2)
+	return 0
+}

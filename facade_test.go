@@ -1,0 +1,131 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttachTraceCapturesProtocol(t *testing.T) {
+	m := NewSmall(4)
+	tr := AttachTrace(m, 64)
+	a := m.AllocSyncAt(1, INV)
+	m.RunEach([]func(*Proc){
+		func(p *Proc) { p.FetchAdd(a, 1) },
+		nil, nil, nil,
+	})
+	if tr.Len() == 0 {
+		t.Fatal("trace captured nothing")
+	}
+	var b strings.Builder
+	if _, err := tr.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"issue", "fetch_and_add", "complete"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("trace missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestQueueThroughFacade(t *testing.T) {
+	m := NewSmall(4)
+	q := NewQueue(m, UNC, 4, Options{Prim: FAP})
+	var got []Word
+	m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			for i := 0; i < 3; i++ {
+				got = append(got, q.Dequeue(p))
+			}
+		} else {
+			q.Enqueue(p, Word(p.ID()))
+		}
+	})
+	if len(got) != 3 {
+		t.Fatalf("dequeued %d values", len(got))
+	}
+}
+
+func TestRWLockThroughFacade(t *testing.T) {
+	m := NewSmall(4)
+	l := NewRWLock(m, INV, Options{Prim: FAP})
+	shared := m.Alloc(4)
+	m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			l.Lock(p)
+			p.Store(shared, p.Load(shared)+1)
+			l.Unlock(p)
+		} else {
+			l.RLock(p)
+			p.Load(shared)
+			l.RUnlock(p)
+		}
+	})
+	if m.Peek(shared) != 1 {
+		t.Fatalf("shared = %d", m.Peek(shared))
+	}
+}
+
+func TestPriorityLockThroughFacade(t *testing.T) {
+	m := NewSmall(4)
+	l := NewPriorityLock(m, INV, Options{Prim: CAS})
+	shared := m.Alloc(4)
+	m.Run(func(p *Proc) {
+		l.Acquire(p, Word(p.ID()))
+		p.Store(shared, p.Load(shared)+1)
+		l.Release(p)
+	})
+	if m.Peek(shared) != 4 {
+		t.Fatalf("shared = %d", m.Peek(shared))
+	}
+}
+
+func TestCentralBarrierThroughFacade(t *testing.T) {
+	m := NewSmall(4)
+	b := NewCentralBarrier(m, INV, Options{Prim: FAP})
+	a := m.Alloc(4)
+	m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Store(a, 7)
+		}
+		b.Wait(p)
+		if v := p.Load(a); v != 7 {
+			t.Errorf("proc %d sees %d after barrier", p.ID(), v)
+		}
+	})
+}
+
+func TestContextSwitchThroughFacade(t *testing.T) {
+	m := NewSmall(4)
+	m.SetContextSwitchQuantum(30)
+	a := m.AllocSync(INV)
+	m.Run(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			for {
+				v := p.LoadLinked(a)
+				if p.StoreConditional(a, v+1) {
+					break
+				}
+			}
+		}
+	})
+	if m.Peek(a) != 40 {
+		t.Fatalf("counter = %d, want 40", m.Peek(a))
+	}
+}
+
+func TestStackThroughFacade(t *testing.T) {
+	m := NewSmall(4)
+	s := NewStack(m, INV, 4, Options{Prim: LLSC})
+	var popped Word
+	m.RunEach([]func(*Proc){
+		func(p *Proc) {
+			s.Push(p, 2)
+			s.Push(p, 3)
+			popped = s.Pop(p, nil)
+		},
+		nil, nil, nil,
+	})
+	if popped != 3 {
+		t.Fatalf("popped %d, want 3 (LIFO)", popped)
+	}
+}

@@ -1,0 +1,3 @@
+module dsm
+
+go 1.22

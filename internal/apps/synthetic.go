@@ -1,0 +1,143 @@
+// Package apps contains the paper's workloads: the three synthetic
+// applications used for the controlled measurements of figures 3-5 (a
+// lock-free counter, a counter under a test-and-test-and-set lock, and a
+// counter under an MCS lock), and the three "real" applications of figures
+// 2 and 6 (Transitive Closure, implemented in full from the paper's figure
+// 1, plus LocusRoute-like and Cholesky-like kernels that reproduce the
+// sharing patterns the paper measured in the SPLASH originals).
+package apps
+
+import (
+	"fmt"
+
+	"dsm/internal/core"
+	"dsm/internal/locks"
+	"dsm/internal/machine"
+	"dsm/internal/sim"
+)
+
+// Pattern describes the sharing pattern a synthetic run enforces, mirroring
+// the paper's parameters: p processors, contention level c, and average
+// write-run length a.
+type Pattern struct {
+	// Contention is the number of processors concurrently updating the
+	// counter in each round (the paper's c). 1 means no contention.
+	Contention int
+	// WriteRun is the average number of consecutive updates by the active
+	// processor per turn (the paper's a); meaningful when Contention is 1.
+	// Fractional averages (e.g. 1.5) alternate shorter and longer runs.
+	WriteRun float64
+	// Rounds is the number of barrier-separated rounds to execute.
+	Rounds int
+}
+
+// String renders the pattern as the paper labels its graphs.
+func (pat Pattern) String() string {
+	if pat.Contention <= 1 {
+		return fmt.Sprintf("c=1 a=%g", pat.WriteRun)
+	}
+	return fmt.Sprintf("c=%d", pat.Contention)
+}
+
+// SyntheticResult reports a synthetic run's measurements.
+type SyntheticResult struct {
+	Updates uint64   // counter updates performed
+	Elapsed sim.Time // simulated cycles for the whole run
+	// AvgCycles is the elapsed time averaged over counter updates — the
+	// y-axis of figures 3, 4, and 5.
+	AvgCycles float64
+}
+
+// runsFor returns how many consecutive updates the active processor
+// performs in the given round to achieve the pattern's average write-run
+// length: with a = n + f, a fraction f of turns perform n+1 updates.
+func (pat Pattern) runsFor(round int) int {
+	a := pat.WriteRun
+	if a < 1 {
+		a = 1
+	}
+	n := int(a)
+	frac := a - float64(n)
+	// Spread the longer turns evenly: turn r is long when the accumulated
+	// fraction crosses an integer boundary.
+	if int(float64(round+1)*frac) > int(float64(round)*frac) {
+		return n + 1
+	}
+	return n
+}
+
+// RunSynthetic drives update on m's processors under the given sharing
+// pattern. Each round is separated by the MINT constant-time barrier, as
+// in the paper's methodology; update is invoked once per counter update.
+func RunSynthetic(m *machine.Machine, pat Pattern, update func(p *machine.Proc)) SyntheticResult {
+	procs := m.Procs()
+	c := pat.Contention
+	if c < 1 {
+		c = 1
+	}
+	if c > procs {
+		c = procs
+	}
+	var updates uint64
+	elapsed := m.Run(func(p *machine.Proc) {
+		for round := 0; round < pat.Rounds; round++ {
+			if c == 1 {
+				// No contention: one processor per round, performing a
+				// write run; ownership rotates so data changes hands.
+				if p.ID() == round%procs {
+					runs := pat.runsFor(round)
+					for u := 0; u < runs; u++ {
+						update(p)
+						updates++
+					}
+				}
+			} else {
+				// Contention: c processors update concurrently; the active
+				// window rotates across rounds.
+				if (p.ID()-round*c%procs+procs)%procs < c {
+					update(p)
+					updates++
+				}
+			}
+			p.Barrier()
+		}
+	})
+	res := SyntheticResult{Updates: updates, Elapsed: elapsed}
+	if updates > 0 {
+		res.AvgCycles = float64(elapsed) / float64(updates)
+	}
+	return res
+}
+
+// CounterApp is the paper's first synthetic application: a lock-free
+// counter updated with the primitive family under study.
+func CounterApp(m *machine.Machine, policy core.Policy, opts locks.Options, pat Pattern) SyntheticResult {
+	c := locks.NewCounter(m, policy, opts)
+	return RunSynthetic(m, pat, func(p *machine.Proc) { c.Inc(p) })
+}
+
+// TTSApp is the second synthetic application: a counter protected by a
+// test-and-test-and-set lock with bounded exponential backoff. The counter
+// itself is ordinary (INV) data; only the lock uses the policy under study.
+func TTSApp(m *machine.Machine, policy core.Policy, opts locks.Options, pat Pattern) SyntheticResult {
+	l := locks.NewTTSLock(m, policy, opts)
+	counter := m.Alloc(4)
+	return RunSynthetic(m, pat, func(p *machine.Proc) {
+		l.Acquire(p)
+		p.Store(counter, p.Load(counter)+1)
+		l.Release(p)
+	})
+}
+
+// MCSApp is the third synthetic application: a counter protected by an MCS
+// queue lock, exercising the case where load_linked/store_conditional
+// simulates compare_and_swap (the release path).
+func MCSApp(m *machine.Machine, policy core.Policy, opts locks.Options, pat Pattern) SyntheticResult {
+	l := locks.NewMCSLock(m, policy, opts)
+	counter := m.Alloc(4)
+	return RunSynthetic(m, pat, func(p *machine.Proc) {
+		l.Acquire(p)
+		p.Store(counter, p.Load(counter)+1)
+		l.Release(p)
+	})
+}

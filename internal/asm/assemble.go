@@ -1,0 +1,428 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses source text into a program. Errors carry the 1-based
+// source line number.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: make(map[string]int)}
+	type patch struct {
+		instr int
+		label string
+		line  int
+	}
+	var patches []patch
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			trimmed := strings.TrimSpace(line)
+			if i := strings.Index(trimmed, ":"); i >= 0 && isIdent(trimmed[:i]) {
+				label := trimmed[:i]
+				if _, dup := p.Labels[label]; dup {
+					return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
+				}
+				p.Labels[label] = len(p.Instrs)
+				line = trimmed[i+1:]
+				continue
+			}
+			break
+		}
+		fields := tokenize(line)
+		if len(fields) == 0 {
+			continue
+		}
+		ins, labelRef, err := parseInstr(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+		}
+		ins.line = lineNo + 1
+		if labelRef != "" {
+			patches = append(patches, patch{instr: len(p.Instrs), label: labelRef, line: lineNo + 1})
+		}
+		p.Instrs = append(p.Instrs, ins)
+	}
+
+	for _, pt := range patches {
+		target, ok := p.Labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", pt.line, pt.label)
+		}
+		p.Instrs[pt.instr].Target = target
+	}
+	if len(p.Instrs) == 0 {
+		return nil, fmt.Errorf("empty program")
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble, panicking on error (for fixed programs).
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic("asm: " + err.Error())
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, "#;"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tokenize splits an instruction line into mnemonic and operands.
+func tokenize(line string) []string {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	mnemEnd := strings.IndexAny(line, " \t")
+	if mnemEnd < 0 {
+		return []string{strings.ToLower(line)}
+	}
+	out := []string{strings.ToLower(line[:mnemEnd])}
+	for _, op := range strings.Split(line[mnemEnd:], ",") {
+		op = strings.TrimSpace(op)
+		if op != "" {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// parseInstr decodes one tokenized instruction, returning an unresolved
+// label reference for branches/jumps.
+func parseInstr(f []string) (Instr, string, error) {
+	need := func(n int) error {
+		if len(f)-1 != n {
+			return fmt.Errorf("%s expects %d operands, got %d", f[0], n, len(f)-1)
+		}
+		return nil
+	}
+	var ins Instr
+	switch f[0] {
+	case "li":
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		imm, err := parseImm(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: LI, Rd: rd, Imm: imm}, "", nil
+
+	case "move":
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		rs, err := parseReg(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: MOVE, Rd: rd, Rs: rs}, "", nil
+
+	case "lw", "ll", "ldex":
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		off, rs, err := parseMem(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		op := map[string]Opcode{"lw": LW, "ll": LL, "ldex": LDEX}[f[0]]
+		return Instr{Op: op, Rd: rd, Rs: rs, Imm: off}, "", nil
+
+	case "sw", "sc":
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		rt, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		off, rs, err := parseMem(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		op := SW
+		if f[0] == "sc" {
+			op = SC
+		}
+		return Instr{Op: op, Rt: rt, Rs: rs, Imm: off}, "", nil
+
+	case "dropc":
+		if err := need(1); err != nil {
+			return ins, "", err
+		}
+		off, rs, err := parseMem(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: DROPC, Rs: rs, Imm: off}, "", nil
+
+	case "faa", "fas", "faor":
+		if err := need(3); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		rt, err := parseReg(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		off, rs, err := parseMem(f[3])
+		if err != nil {
+			return ins, "", err
+		}
+		op := map[string]Opcode{"faa": FAA, "fas": FAS, "faor": FAOR}[f[0]]
+		return Instr{Op: op, Rd: rd, Rt: rt, Rs: rs, Imm: off}, "", nil
+
+	case "tas":
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		off, rs, err := parseMem(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: TAS, Rd: rd, Rs: rs, Imm: off}, "", nil
+
+	case "cas":
+		if err := need(4); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		re, err := parseReg(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		rn, err := parseReg(f[3])
+		if err != nil {
+			return ins, "", err
+		}
+		off, rs, err := parseMem(f[4])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: CAS, Rd: rd, Re: re, Rt: rn, Rs: rs, Imm: off}, "", nil
+
+	case "addu", "subu", "or", "and", "xor", "sltu":
+		if err := need(3); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		rs, err := parseReg(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		rt, err := parseReg(f[3])
+		if err != nil {
+			return ins, "", err
+		}
+		op := map[string]Opcode{"addu": ADDU, "subu": SUBU, "or": OR, "and": AND, "xor": XOR, "sltu": SLTU}[f[0]]
+		return Instr{Op: op, Rd: rd, Rs: rs, Rt: rt}, "", nil
+
+	case "addiu", "ori", "andi", "sltiu", "sll", "srl":
+		if err := need(3); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		rs, err := parseReg(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		imm, err := parseImm(f[3])
+		if err != nil {
+			return ins, "", err
+		}
+		op := map[string]Opcode{"addiu": ADDIU, "ori": ORI, "andi": ANDI, "sltiu": SLTIU, "sll": SLL, "srl": SRL}[f[0]]
+		return Instr{Op: op, Rd: rd, Rs: rs, Imm: imm}, "", nil
+
+	case "beq", "bne":
+		if err := need(3); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		rt, err := parseReg(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		op := BEQ
+		if f[0] == "bne" {
+			op = BNE
+		}
+		return Instr{Op: op, Rd: rd, Rt: rt}, f[3], nil
+
+	case "blez", "bgtz":
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		op := BLEZ
+		if f[0] == "bgtz" {
+			op = BGTZ
+		}
+		return Instr{Op: op, Rd: rd}, f[2], nil
+
+	case "j":
+		if err := need(1); err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: J}, f[1], nil
+
+	case "pause":
+		if err := need(1); err != nil {
+			return ins, "", err
+		}
+		imm, err := parseImm(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		if imm < 0 {
+			return ins, "", fmt.Errorf("pause with negative count")
+		}
+		return Instr{Op: PAUSE, Imm: imm}, "", nil
+
+	case "pauser":
+		if err := need(1); err != nil {
+			return ins, "", err
+		}
+		rs, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: PAUSER, Rs: rs}, "", nil
+
+	case "rand":
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return ins, "", err
+		}
+		rs, err := parseReg(f[2])
+		if err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: RAND, Rd: rd, Rs: rs}, "", nil
+
+	case "nop":
+		if err := need(0); err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: NOP}, "", nil
+
+	case "halt":
+		if err := need(0); err != nil {
+			return ins, "", err
+		}
+		return Instr{Op: HALT}, "", nil
+	}
+	return ins, "", fmt.Errorf("unknown mnemonic %q", f[0])
+}
+
+func parseReg(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("register %q must start with $", s)
+	}
+	name := strings.ToLower(s[1:])
+	if r, ok := regNames[name]; ok {
+		return r, nil
+	}
+	n, err := strconv.Atoi(name)
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseMem parses "off($reg)" (offset optional).
+func parseMem(s string) (int32, Reg, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q, want off($reg)", s)
+	}
+	var off int32
+	if open > 0 {
+		v, err := parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	r, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, r, nil
+}

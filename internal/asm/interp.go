@@ -1,0 +1,181 @@
+package asm
+
+import (
+	"fmt"
+
+	"dsm/internal/arch"
+	"dsm/internal/machine"
+	"dsm/internal/sim"
+)
+
+// CPU holds one execution's architectural state.
+type CPU struct {
+	Regs [32]arch.Word
+	// Instructions counts executed instructions (the MINT-style metric).
+	Instructions uint64
+}
+
+// DefaultMaxInstructions bounds a Run against runaway programs.
+const DefaultMaxInstructions = 10_000_000
+
+// Run executes the program on the given simulated processor until halt or
+// falling off the end, charging one cycle per non-memory instruction and
+// the memory system's full latency for memory operations — the same
+// execution-driven accounting MINT provides the paper. The init map
+// preloads registers (e.g. base addresses of shared data). It returns the
+// final CPU state; it panics on invalid programs or when maxInstr (0 =
+// DefaultMaxInstructions) is exceeded, which indicates livelock.
+func Run(p *machine.Proc, prog *Program, init map[Reg]arch.Word, maxInstr uint64) CPU {
+	if maxInstr == 0 {
+		maxInstr = DefaultMaxInstructions
+	}
+	var cpu CPU
+	for r, v := range init {
+		cpu.Regs[r] = v
+	}
+	cpu.Regs[0] = 0
+
+	pc := 0
+	for pc >= 0 && pc < len(prog.Instrs) {
+		if cpu.Instructions >= maxInstr {
+			panic(fmt.Sprintf("asm: instruction budget (%d) exceeded at pc=%d (livelock?)", maxInstr, pc))
+		}
+		ins := &prog.Instrs[pc]
+		cpu.Instructions++
+		next := pc + 1
+
+		set := func(r Reg, v arch.Word) {
+			if r != 0 {
+				cpu.Regs[r] = v
+			}
+		}
+		addr := func() arch.Addr {
+			return arch.Addr(cpu.Regs[ins.Rs]) + arch.Addr(uint32(ins.Imm))
+		}
+
+		switch ins.Op {
+		case LI:
+			set(ins.Rd, arch.Word(uint32(ins.Imm)))
+			p.Compute(1)
+		case MOVE:
+			set(ins.Rd, cpu.Regs[ins.Rs])
+			p.Compute(1)
+		case LW:
+			set(ins.Rd, p.Load(addr()))
+		case SW:
+			p.Store(addr(), cpu.Regs[ins.Rt])
+		case LL:
+			set(ins.Rd, p.LoadLinked(addr()))
+		case SC:
+			if p.StoreConditional(addr(), cpu.Regs[ins.Rt]) {
+				set(ins.Rt, 1)
+			} else {
+				set(ins.Rt, 0)
+			}
+		case LDEX:
+			set(ins.Rd, p.LoadExclusive(addr()))
+		case DROPC:
+			p.DropCopy(addr())
+		case FAA:
+			set(ins.Rd, p.FetchAdd(addr(), cpu.Regs[ins.Rt]))
+		case FAS:
+			set(ins.Rd, p.FetchStore(addr(), cpu.Regs[ins.Rt]))
+		case FAOR:
+			set(ins.Rd, p.FetchOr(addr(), cpu.Regs[ins.Rt]))
+		case TAS:
+			set(ins.Rd, p.TestAndSet(addr()))
+		case CAS:
+			if p.CompareAndSwap(addr(), cpu.Regs[ins.Re], cpu.Regs[ins.Rt]) {
+				set(ins.Rd, 1)
+			} else {
+				set(ins.Rd, 0)
+			}
+		case ADDU:
+			set(ins.Rd, cpu.Regs[ins.Rs]+cpu.Regs[ins.Rt])
+			p.Compute(1)
+		case SUBU:
+			set(ins.Rd, cpu.Regs[ins.Rs]-cpu.Regs[ins.Rt])
+			p.Compute(1)
+		case OR:
+			set(ins.Rd, cpu.Regs[ins.Rs]|cpu.Regs[ins.Rt])
+			p.Compute(1)
+		case AND:
+			set(ins.Rd, cpu.Regs[ins.Rs]&cpu.Regs[ins.Rt])
+			p.Compute(1)
+		case XOR:
+			set(ins.Rd, cpu.Regs[ins.Rs]^cpu.Regs[ins.Rt])
+			p.Compute(1)
+		case SLTU:
+			set(ins.Rd, boolWord(cpu.Regs[ins.Rs] < cpu.Regs[ins.Rt]))
+			p.Compute(1)
+		case ADDIU:
+			set(ins.Rd, cpu.Regs[ins.Rs]+arch.Word(uint32(ins.Imm)))
+			p.Compute(1)
+		case ORI:
+			set(ins.Rd, cpu.Regs[ins.Rs]|arch.Word(uint32(ins.Imm)))
+			p.Compute(1)
+		case ANDI:
+			set(ins.Rd, cpu.Regs[ins.Rs]&arch.Word(uint32(ins.Imm)))
+			p.Compute(1)
+		case SLTIU:
+			set(ins.Rd, boolWord(cpu.Regs[ins.Rs] < arch.Word(uint32(ins.Imm))))
+			p.Compute(1)
+		case SLL:
+			set(ins.Rd, cpu.Regs[ins.Rs]<<uint(ins.Imm&31))
+			p.Compute(1)
+		case SRL:
+			set(ins.Rd, cpu.Regs[ins.Rs]>>uint(ins.Imm&31))
+			p.Compute(1)
+		case BEQ:
+			if cpu.Regs[ins.Rd] == cpu.Regs[ins.Rt] {
+				next = ins.Target
+			}
+			p.Compute(1)
+		case BNE:
+			if cpu.Regs[ins.Rd] != cpu.Regs[ins.Rt] {
+				next = ins.Target
+			}
+			p.Compute(1)
+		case BLEZ:
+			// Unsigned machine; "less or equal zero" means zero.
+			if cpu.Regs[ins.Rd] == 0 {
+				next = ins.Target
+			}
+			p.Compute(1)
+		case BGTZ:
+			if cpu.Regs[ins.Rd] != 0 {
+				next = ins.Target
+			}
+			p.Compute(1)
+		case J:
+			next = ins.Target
+			p.Compute(1)
+		case PAUSE:
+			p.Compute(sim.Time(uint32(ins.Imm)))
+		case PAUSER:
+			p.Compute(sim.Time(cpu.Regs[ins.Rs]))
+		case RAND:
+			bound := int(cpu.Regs[ins.Rs])
+			if bound <= 0 {
+				bound = 1
+			}
+			set(ins.Rd, arch.Word(p.Rand().Intn(bound)))
+			p.Compute(1)
+		case NOP:
+			p.Compute(1)
+		case HALT:
+			return cpu
+		default:
+			panic(fmt.Sprintf("asm: unimplemented opcode %v at line %d", ins.Op, ins.line))
+		}
+		pc = next
+	}
+	return cpu
+}
+
+func boolWord(b bool) arch.Word {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,134 @@
+// Package asm provides a small MIPS-flavored assembly front end for the
+// simulator, playing the role MINT's MIPS R4000 interpretation plays in
+// the paper: synchronization code can be written at the instruction level
+// (the paper's test-and-test-and-set lock was "an assembly language
+// implementation") and executed instruction-by-instruction, each
+// instruction costing one cycle plus the memory system's latency for
+// memory operations.
+//
+// The ISA is a pragmatic subset of MIPS II plus the paper's primitives:
+//
+//	li    $d, imm            ; d <- imm
+//	move  $d, $s             ; d <- s
+//	lw    $d, off($s)        ; load word
+//	sw    $t, off($s)        ; store word
+//	ll    $d, off($s)        ; load_linked
+//	sc    $t, off($s)        ; store_conditional; t <- 1/0
+//	ldex  $d, off($s)        ; load_exclusive (auxiliary instruction)
+//	dropc off($s)            ; drop_copy (auxiliary instruction)
+//	faa   $d, $t, off($s)    ; d <- fetch_and_add(addr, t)
+//	fas   $d, $t, off($s)    ; d <- fetch_and_store(addr, t)
+//	faor  $d, $t, off($s)    ; d <- fetch_and_or(addr, t)
+//	tas   $d, off($s)        ; d <- test_and_set(addr)
+//	cas   $d, $e, $n, off($s); d <- 1 if compare_and_swap(addr, e, n) else 0
+//	addu/subu/or/and/xor/sltu $d, $s, $t
+//	addiu/ori/andi/sltiu      $d, $s, imm
+//	sll/srl $d, $s, shamt
+//	beq/bne $s, $t, label
+//	blez/bgtz $s, label
+//	j     label
+//	pause imm                ; imm cycles of local computation
+//	pauser $s                ; $s cycles of local computation
+//	rand  $d, $s             ; d <- uniform [0, s) from the CPU's stream
+//	halt
+//
+// Labels end with ':'; comments start with '#' or ';'. Registers use
+// numbers ($0-$31) or the standard MIPS names ($zero, $at, $v0-$v1,
+// $a0-$a3, $t0-$t9, $s0-$s7, $k0-$k1, $gp, $sp, $fp, $ra).
+package asm
+
+import "fmt"
+
+// Reg is a register number, 0-31. Register 0 is hardwired to zero.
+type Reg uint8
+
+// Opcode identifies an instruction.
+type Opcode uint8
+
+const (
+	LI Opcode = iota
+	MOVE
+	LW
+	SW
+	LL
+	SC
+	LDEX
+	DROPC
+	FAA
+	FAS
+	FAOR
+	TAS
+	CAS
+	ADDU
+	SUBU
+	OR
+	AND
+	XOR
+	SLTU
+	ADDIU
+	ORI
+	ANDI
+	SLTIU
+	SLL
+	SRL
+	BEQ
+	BNE
+	BLEZ
+	BGTZ
+	J
+	PAUSE
+	PAUSER
+	RAND
+	NOP
+	HALT
+)
+
+var opNames = [...]string{
+	LI: "li", MOVE: "move", LW: "lw", SW: "sw", LL: "ll", SC: "sc",
+	LDEX: "ldex", DROPC: "dropc", FAA: "faa", FAS: "fas", FAOR: "faor",
+	TAS: "tas", CAS: "cas", ADDU: "addu", SUBU: "subu", OR: "or",
+	AND: "and", XOR: "xor", SLTU: "sltu", ADDIU: "addiu", ORI: "ori",
+	ANDI: "andi", SLTIU: "sltiu", SLL: "sll", SRL: "srl", BEQ: "beq",
+	BNE: "bne", BLEZ: "blez", BGTZ: "bgtz", J: "j", PAUSE: "pause", PAUSER: "pauser",
+	RAND: "rand", NOP: "nop", HALT: "halt",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op Opcode
+	Rd Reg // destination (or branch source 1)
+	Rs Reg // source / base register
+	Rt Reg // second source (store value, operand)
+	Re Reg // CAS expected value register
+	// Imm is the immediate, load/store offset, shift amount, or pause
+	// cycle count.
+	Imm int32
+	// Target is the resolved branch/jump destination (instruction index).
+	Target int
+
+	line int // source line, for diagnostics
+}
+
+// Program is an assembled instruction sequence.
+type Program struct {
+	Instrs []Instr
+	Labels map[string]int
+}
+
+// regNames maps the conventional MIPS register names to numbers.
+var regNames = map[string]Reg{
+	"zero": 0, "at": 1, "v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+	"s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"t8": 24, "t9": 25, "k0": 26, "k1": 27,
+	"gp": 28, "sp": 29, "fp": 30, "ra": 31,
+}

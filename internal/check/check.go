@@ -1,0 +1,133 @@
+// Package check verifies concurrent histories collected from the
+// simulator. Its main tool is a linearizability checker for the shared
+// counter — the object at the heart of all three of the paper's synthetic
+// applications — exploiting the counter's structure for an efficient exact
+// check: fetched values must be a permutation of 0..n-1 that respects the
+// real-time order of non-overlapping operations, and reads must fall
+// within the window of increments concurrent with them.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"dsm/internal/arch"
+	"dsm/internal/sim"
+)
+
+// Op is one completed operation in a history.
+type Op struct {
+	Proc    int
+	Invoke  sim.Time // when the operation was issued
+	Respond sim.Time // when it completed
+	Kind    Kind
+	Value   arch.Word // increment: fetched (old) value; read: value seen
+}
+
+// Kind classifies history operations.
+type Kind uint8
+
+const (
+	// Inc is a successful atomic increment (fetch_and_add(1), or a
+	// CAS/LL-SC loop that succeeded).
+	Inc Kind = iota
+	// Read is an ordinary read of the counter.
+	Read
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Inc {
+		return "inc"
+	}
+	return "read"
+}
+
+// History accumulates operations. Record order is irrelevant; operations
+// carry their own timestamps.
+type History struct {
+	ops []Op
+}
+
+// Record appends one completed operation. It panics if the response
+// precedes the invocation (a harness bug).
+func (h *History) Record(op Op) {
+	if op.Respond < op.Invoke {
+		panic(fmt.Sprintf("check: response %d before invocation %d", op.Respond, op.Invoke))
+	}
+	h.ops = append(h.ops, op)
+}
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int { return len(h.ops) }
+
+// CheckCounter verifies that the history is a linearizable execution of a
+// counter with initial value 0. It returns nil if so, or an error
+// describing the first violation found.
+func (h *History) CheckCounter() error {
+	var incs, reads []Op
+	for _, op := range h.ops {
+		switch op.Kind {
+		case Inc:
+			incs = append(incs, op)
+		case Read:
+			reads = append(reads, op)
+		default:
+			return fmt.Errorf("check: unknown op kind %d", op.Kind)
+		}
+	}
+
+	// 1. Fetched values are a permutation of 0..n-1.
+	seen := make([]int, len(incs)) // fetched value -> count
+	for _, op := range incs {
+		v := int(op.Value)
+		if v < 0 || v >= len(incs) {
+			return fmt.Errorf("check: proc %d fetched %d outside 0..%d", op.Proc, v, len(incs)-1)
+		}
+		seen[v]++
+	}
+	for v, n := range seen {
+		if n != 1 {
+			return fmt.Errorf("check: value %d fetched %d times", v, n)
+		}
+	}
+
+	// 2. Real-time order: an increment that finished before another began
+	// must have fetched a smaller value.
+	byValue := append([]Op(nil), incs...)
+	sort.Slice(byValue, func(i, j int) bool { return byValue[i].Value < byValue[j].Value })
+	for i := range byValue {
+		for j := i + 1; j < len(byValue); j++ {
+			// byValue[j] linearized after byValue[i]; it must not have
+			// completed before byValue[i] was invoked.
+			if byValue[j].Respond < byValue[i].Invoke {
+				return fmt.Errorf(
+					"check: inc fetching %d (proc %d) completed at %d, before inc fetching %d (proc %d) began at %d",
+					byValue[j].Value, byValue[j].Proc, byValue[j].Respond,
+					byValue[i].Value, byValue[i].Proc, byValue[i].Invoke)
+			}
+		}
+	}
+
+	// 3. Reads: the value must lie between the number of increments that
+	// completed before the read began and the number that began before the
+	// read completed.
+	for _, r := range reads {
+		lo, hi := 0, 0
+		for _, inc := range incs {
+			if inc.Respond < r.Invoke {
+				lo++
+			}
+			if inc.Invoke <= r.Respond {
+				hi++
+			}
+		}
+		v := int(r.Value)
+		if v < lo || v > hi {
+			return fmt.Errorf(
+				"check: proc %d read %d during [%d,%d], legal window [%d,%d]",
+				r.Proc, v, r.Invoke, r.Respond, lo, hi)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dsm/internal/arch"
+	"dsm/internal/sim"
+)
+
+func inc(proc int, invoke, respond sim.Time, fetched arch.Word) Op {
+	return Op{Proc: proc, Invoke: invoke, Respond: respond, Kind: Inc, Value: fetched}
+}
+
+func rd(proc int, invoke, respond sim.Time, v arch.Word) Op {
+	return Op{Proc: proc, Invoke: invoke, Respond: respond, Kind: Read, Value: v}
+}
+
+func TestEmptyHistoryOK(t *testing.T) {
+	var h History
+	if err := h.CheckCounter(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialIncrementsOK(t *testing.T) {
+	var h History
+	for i := 0; i < 5; i++ {
+		h.Record(inc(0, sim.Time(i*10), sim.Time(i*10+5), arch.Word(i)))
+	}
+	if err := h.CheckCounter(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentIncrementsAnyOrderOK(t *testing.T) {
+	// Two fully overlapping increments may fetch in either order.
+	var h History
+	h.Record(inc(0, 0, 100, 1))
+	h.Record(inc(1, 0, 100, 0))
+	if err := h.CheckCounter(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateFetchDetected(t *testing.T) {
+	var h History
+	h.Record(inc(0, 0, 10, 0))
+	h.Record(inc(1, 20, 30, 0))
+	err := h.CheckCounter()
+	if err == nil || !strings.Contains(err.Error(), "fetched") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOutOfRangeFetchDetected(t *testing.T) {
+	var h History
+	h.Record(inc(0, 0, 10, 5))
+	if err := h.CheckCounter(); err == nil {
+		t.Fatal("out-of-range fetch accepted")
+	}
+}
+
+func TestRealTimeOrderViolationDetected(t *testing.T) {
+	// Op fetching 1 completed before op fetching 0 began: impossible.
+	var h History
+	h.Record(inc(0, 0, 10, 1))
+	h.Record(inc(1, 50, 60, 0))
+	err := h.CheckCounter()
+	if err == nil || !strings.Contains(err.Error(), "before") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadWithinWindowOK(t *testing.T) {
+	var h History
+	h.Record(inc(0, 0, 10, 0))
+	h.Record(inc(1, 20, 30, 1))
+	h.Record(rd(2, 15, 18, 1)) // after first inc, before second
+	if err := h.CheckCounter(); err != nil {
+		t.Fatal(err)
+	}
+	// A read overlapping the second increment may see 1 or 2.
+	h.Record(rd(3, 25, 35, 2))
+	if err := h.CheckCounter(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleReadDetected(t *testing.T) {
+	var h History
+	h.Record(inc(0, 0, 10, 0))
+	h.Record(rd(1, 50, 60, 0)) // both incs done; read of 0 is stale
+	err := h.CheckCounter()
+	if err == nil || !strings.Contains(err.Error(), "read") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFutureReadDetected(t *testing.T) {
+	var h History
+	h.Record(inc(0, 100, 110, 0))
+	h.Record(rd(1, 0, 10, 1)) // read before any increment began
+	if err := h.CheckCounter(); err == nil {
+		t.Fatal("future read accepted")
+	}
+}
+
+func TestRecordPanicsOnBackwardTime(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var h History
+	h.Record(inc(0, 10, 5, 0))
+}
+
+func TestKindString(t *testing.T) {
+	if Inc.String() != "inc" || Read.String() != "read" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+// TestPropertySerialHistoriesAlwaysPass generates random serialized
+// histories (no overlap) — which are trivially linearizable — and checks
+// the checker accepts them.
+func TestPropertySerialHistoriesAlwaysPass(t *testing.T) {
+	f := func(nRaw uint8, readMask uint16) bool {
+		n := int(nRaw%20) + 1
+		var h History
+		now := sim.Time(0)
+		count := 0
+		for i := 0; i < n; i++ {
+			if readMask&(1<<(i%16)) != 0 {
+				h.Record(rd(i%4, now, now+5, arch.Word(count)))
+			} else {
+				h.Record(inc(i%4, now, now+5, arch.Word(count)))
+				count++
+			}
+			now += 10
+		}
+		return h.CheckCounter() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySwappedFetchesAlwaysFail perturbs a serial history by
+// swapping two non-adjacent fetched values, which must break real-time
+// order.
+func TestPropertySwappedFetchesAlwaysFail(t *testing.T) {
+	f := func(nRaw uint8, aRaw, bRaw uint8) bool {
+		n := int(nRaw%10) + 3
+		a, b := int(aRaw)%n, int(bRaw)%n
+		if a == b || a+1 == b || b+1 == a {
+			return true // adjacent or equal swaps may stay legal
+		}
+		var h History
+		for i := 0; i < n; i++ {
+			v := i
+			if i == a {
+				v = b
+			} else if i == b {
+				v = a
+			}
+			h.Record(inc(0, sim.Time(i*10), sim.Time(i*10+5), arch.Word(v)))
+		}
+		return h.CheckCounter() != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

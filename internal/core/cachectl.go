@@ -1,0 +1,620 @@
+package core
+
+import (
+	"fmt"
+
+	"dsm/internal/arch"
+	"dsm/internal/cache"
+	"dsm/internal/mesh"
+	"dsm/internal/sim"
+	"dsm/internal/stats"
+)
+
+// txn is the cache controller's single outstanding transaction (the
+// processors are in-order and blocking, as in the simulated machine).
+type txn struct {
+	req     Request
+	retries int
+
+	granted  bool // grant/reply received and its effect applied
+	needAcks int  // valid once granted
+	acks     int
+	chainMax int // max serialized chain over grant and ack paths
+
+	// result is the operation outcome, computed when the grant arrives;
+	// delivery waits for the invalidation/update acknowledgments.
+	result Result
+
+	tracking bool // contention tracking began for this txn
+}
+
+// CacheCtl is one node's cache controller: it satisfies processor requests
+// locally when it can (the computational power for INV-policy atomic
+// primitives lives here), converses with home controllers otherwise, and
+// services incoming coherence traffic (invalidations, recalls, updates,
+// owner-side CAS comparisons).
+type CacheCtl struct {
+	sys   *System
+	node  mesh.NodeID
+	cache *cache.Cache
+
+	pending *txn
+
+	// llHintFail is set when a UNC/UPD load_linked under the limited
+	// reservation scheme returned a beyond-the-limit hint; the next
+	// store_conditional then fails locally without network traffic.
+	llHintFail bool
+}
+
+func newCacheCtl(s *System, n mesh.NodeID) *CacheCtl {
+	return &CacheCtl{sys: s, node: n, cache: cache.New(s.cfg.Cache)}
+}
+
+// Node returns the controller's node id.
+func (c *CacheCtl) Node() mesh.NodeID { return c.node }
+
+// CacheArray exposes the underlying cache (tests and invariant checks).
+func (c *CacheCtl) CacheArray() *cache.Cache { return c.cache }
+
+// Busy reports whether a processor request is outstanding.
+func (c *CacheCtl) Busy() bool { return c.pending != nil }
+
+// Issue starts one processor memory operation. Exactly one operation may be
+// outstanding per processor; a second Issue before Done fires panics.
+// Issue must be called from the engine's event loop.
+func (c *CacheCtl) Issue(req Request) {
+	if c.pending != nil {
+		panic(fmt.Sprintf("core: node %d issued %v with a request outstanding", c.node, req.Op))
+	}
+	arch.CheckWordAligned(req.Addr)
+	c.sys.counters.Requests++
+	c.sys.trace(c.node, "issue", "%v addr=%#x val=%d,%d", req.Op, req.Addr, req.Val, req.Val2)
+	t := &txn{req: req}
+	if c.sys.cfg.Track && req.Op.IsAtomic() {
+		c.sys.contention.Begin(stats.Location(req.Addr), int(c.node))
+		t.tracking = true
+	}
+	c.pending = t
+	c.sys.eng.After(c.sys.cfg.CacheHitTime, func() { c.start(t) })
+}
+
+// complete finishes the outstanding transaction and delivers the result.
+func (c *CacheCtl) complete(t *txn, r Result) {
+	if c.pending != t {
+		panic("core: completing a transaction that is not pending")
+	}
+	c.pending = nil
+	if t.tracking {
+		c.sys.contention.End(stats.Location(t.req.Addr), int(c.node))
+	}
+	if r.Chain == 0 {
+		c.sys.counters.LocalHits++
+	}
+	c.sys.trace(c.node, "complete", "%v addr=%#x value=%d ok=%v chain=%d",
+		t.req.Op, t.req.Addr, r.Value, r.OK, r.Chain)
+	c.sys.chains.Record(t.req.Op.String()+"/"+c.sys.PolicyOf(t.req.Addr).String(), r.Chain)
+	if t.req.Done != nil {
+		t.req.Done(r)
+	}
+}
+
+// start dispatches a (possibly retried) request according to the block's
+// policy and the local cache state.
+func (c *CacheCtl) start(t *txn) {
+	req := t.req
+	switch c.sys.PolicyOf(req.Addr) {
+	case PolicyUNC:
+		c.startUNC(t)
+	case PolicyUPD:
+		c.startUPD(t)
+	default:
+		c.startINV(t)
+	}
+}
+
+// request constructs the base request message for the transaction.
+func (c *CacheCtl) request(t *txn, kind msgKind) *msg {
+	return &msg{
+		kind:      kind,
+		addr:      t.req.Addr,
+		requester: c.node,
+		op:        t.req.Op,
+		val:       t.req.Val,
+		val2:      t.req.Val2,
+	}
+}
+
+func (c *CacheCtl) toHome(t *txn, kind msgKind) {
+	m := c.request(t, kind)
+	c.sys.send(c.node, c.sys.HomeOf(t.req.Addr), m, true)
+}
+
+// ---------------------------------------------------------------- UNC ----
+
+func (c *CacheCtl) startUNC(t *txn) {
+	switch t.req.Op {
+	case OpDropCopy:
+		// Nothing is cached under UNC.
+		c.complete(t, Result{OK: true})
+	case OpSC:
+		if c.llHintFail {
+			// The preceding LL was refused (limited scheme); fail locally.
+			c.llHintFail = false
+			c.sys.counters.SCFailLocal++
+			c.complete(t, Result{OK: false})
+			return
+		}
+		c.toHome(t, mUncOp)
+	default:
+		c.toHome(t, mUncOp)
+	}
+}
+
+// ---------------------------------------------------------------- UPD ----
+
+func (c *CacheCtl) startUPD(t *txn) {
+	req := t.req
+	switch req.Op {
+	case OpLoad, OpLoadExclusive:
+		// load_exclusive has no meaning under write-update; it behaves as
+		// an ordinary load.
+		if l := c.cache.Lookup(req.Addr); l != nil {
+			c.sys.trackAccess(req.Addr, c.node, req.Op, false)
+			c.complete(t, Result{Value: l.Word(req.Addr), OK: true})
+			return
+		}
+		c.toHome(t, mUpdRead)
+	case OpDropCopy:
+		if c.cache.Invalidate(req.Addr) != nil {
+			m := c.request(t, mDropS)
+			c.sys.send(c.node, c.sys.HomeOf(req.Addr), m, true)
+		}
+		c.complete(t, Result{OK: true})
+	case OpSC:
+		if c.llHintFail {
+			c.llHintFail = false
+			c.sys.counters.SCFailLocal++
+			c.complete(t, Result{OK: false})
+			return
+		}
+		c.toHome(t, mUpdOp)
+	default:
+		// Stores, fetch_and_Φ, CAS, LL: executed at the home memory.
+		c.toHome(t, mUpdOp)
+	}
+}
+
+// ---------------------------------------------------------------- INV ----
+
+func (c *CacheCtl) startINV(t *txn) {
+	req := t.req
+	l := c.cache.Lookup(req.Addr)
+	switch req.Op {
+	case OpLoad:
+		if l != nil {
+			c.sys.trackAccess(req.Addr, c.node, req.Op, false)
+			c.complete(t, Result{Value: l.Word(req.Addr), OK: true})
+			return
+		}
+		c.toHome(t, mRead)
+
+	case OpLL:
+		if l != nil {
+			c.cache.SetReservation(req.Addr)
+			c.sys.trackAccess(req.Addr, c.node, req.Op, false)
+			c.complete(t, Result{Value: l.Word(req.Addr), OK: true})
+			return
+		}
+		// LL acquires a shared copy; an exclusive LL invites livelock.
+		c.toHome(t, mRead)
+
+	case OpSC:
+		if !c.cache.ReservedOn(req.Addr) {
+			c.sys.counters.SCFailLocal++
+			c.complete(t, Result{OK: false})
+			return
+		}
+		if l != nil && l.State == cache.ExclusiveRW {
+			// Reservation valid and line exclusive: succeed locally.
+			c.localExec(t, l)
+			return
+		}
+		c.toHome(t, mSCHome)
+
+	case OpDropCopy:
+		c.dropINV(req.Addr)
+		c.complete(t, Result{OK: true})
+
+	case OpCAS:
+		if l != nil && l.State == cache.ExclusiveRW {
+			c.localExec(t, l)
+			return
+		}
+		if c.sys.cfg.CAS != CASPlain {
+			// INVd/INVs: compare at the home or owner.
+			c.toHome(t, mCASHome)
+			return
+		}
+		c.toHome(t, mReadEx)
+
+	case OpStore, OpLoadExclusive, OpFetchAdd, OpFetchStore, OpFetchOr, OpTestAndSet:
+		if l != nil && l.State == cache.ExclusiveRW {
+			c.localExec(t, l)
+			return
+		}
+		c.toHome(t, mReadEx)
+
+	default:
+		panic(fmt.Sprintf("core: unhandled op %v", req.Op))
+	}
+}
+
+// dropINV implements drop_copy for an INV-policy block: a dirty line is
+// written back, a shared line sends a replacement hint; both self-invalidate.
+func (c *CacheCtl) dropINV(a arch.Addr) {
+	v := c.cache.Invalidate(a)
+	if v == nil {
+		return
+	}
+	c.evictVictim(&cache.Victim{Base: v.Base, State: v.State, Data: v.Data})
+}
+
+// evictVictim notifies the home about a line displaced by a fill, a
+// drop_copy, or an eviction.
+func (c *CacheCtl) evictVictim(v *cache.Victim) {
+	home := c.sys.HomeOf(v.Base)
+	m := &msg{addr: v.Base, requester: c.node}
+	if v.State == cache.ExclusiveRW {
+		m.kind = mWB
+		m.data = v.Data
+		m.hasData = true
+		c.sys.counters.Writebacks++
+	} else {
+		m.kind = mDropS
+	}
+	c.sys.send(c.node, home, m, true)
+}
+
+// insert fills a line, handling any displaced victim.
+func (c *CacheCtl) insert(a arch.Addr, st cache.State, data arch.BlockData) *cache.Line {
+	l, victim := c.cache.Insert(a, st, data)
+	if victim != nil {
+		c.evictVictim(victim)
+	}
+	return l
+}
+
+// localExec performs an operation on a locally held exclusive line and
+// completes the transaction: this is the cache controller's "computational
+// power" of the INV implementations.
+func (c *CacheCtl) localExec(t *txn, l *cache.Line) {
+	r := c.execOnLine(t.req, l)
+	r.Chain = t.chainMax
+	c.complete(t, r)
+}
+
+// execOnLine applies an operation to an exclusive line and returns its
+// result (Chain left zero for the caller to fill in).
+func (c *CacheCtl) execOnLine(req Request, l *cache.Line) Result {
+	old := l.Word(req.Addr)
+	r := Result{Value: old, OK: true}
+	wrote := false
+	switch req.Op {
+	case OpLoadExclusive:
+		// Value read; exclusivity already held.
+	case OpStore:
+		l.SetWord(req.Addr, req.Val)
+		wrote = true
+	case OpFetchAdd:
+		l.SetWord(req.Addr, old+req.Val)
+		wrote = true
+	case OpFetchStore:
+		l.SetWord(req.Addr, req.Val)
+		wrote = true
+	case OpFetchOr:
+		l.SetWord(req.Addr, old|req.Val)
+		wrote = true
+	case OpTestAndSet:
+		l.SetWord(req.Addr, 1)
+		wrote = true
+	case OpCAS:
+		if old == req.Val {
+			l.SetWord(req.Addr, req.Val2)
+			wrote = true
+		} else {
+			r.OK = false
+		}
+	case OpSC:
+		l.SetWord(req.Addr, req.Val)
+		wrote = true
+		c.cache.ClearReservation()
+	case OpLL:
+		c.cache.SetReservation(req.Addr)
+	default:
+		panic(fmt.Sprintf("core: execOnLine of %v", req.Op))
+	}
+	c.sys.trackAccess(req.Addr, c.node, req.Op, wrote)
+	return r
+}
+
+// retry re-dispatches a NAKed transaction after a backoff proportional to
+// the retry count, staggered by node id to avoid lockstep retries.
+func (c *CacheCtl) retry(t *txn) {
+	c.sys.counters.Retries++
+	t.retries++
+	n := t.retries
+	if n > 8 {
+		n = 8
+	}
+	delay := c.sys.cfg.RetryDelay + sim.Time(int(c.node)%8)*2 + sim.Time(n)*8
+	// Reset per-attempt reply state; acks never span attempts because a
+	// NAKed request changed no directory state.
+	t.granted = false
+	t.needAcks = 0
+	t.acks = 0
+	c.sys.eng.After(delay, func() { c.start(t) })
+}
+
+// receive dispatches an incoming protocol message.
+func (c *CacheCtl) receive(m *msg) {
+	switch m.kind {
+	case mInval:
+		c.handleInval(m)
+	case mRecallE, mRecallS:
+		c.handleRecall(m)
+	case mCASFwd:
+		c.handleCASFwd(m)
+	case mUpdate:
+		c.handleUpdate(m)
+	case mInvAck, mUpdAck:
+		c.handleAck(m)
+	case mNak:
+		t := c.mustPending(m)
+		c.sys.counters.Naks++
+		c.retry(t)
+	case mDataS:
+		c.handleDataS(m)
+	case mDataE:
+		c.handleDataE(m)
+	case mCASFail:
+		c.handleCASFail(m)
+	case mSCFail:
+		t := c.mustPending(m)
+		c.cache.ClearReservation()
+		c.complete(t, Result{OK: false, Chain: m.chain})
+	case mUncReply:
+		c.handleUncReply(m)
+	case mUpdReply:
+		c.handleUpdReply(m)
+	default:
+		panic(fmt.Sprintf("core: cache %d received %v", c.node, m.kind))
+	}
+}
+
+// mustPending returns the outstanding transaction, which must exist and
+// match the reply's address: the protocol delivers replies only for the
+// single outstanding request.
+func (c *CacheCtl) mustPending(m *msg) *txn {
+	if c.pending == nil {
+		panic(fmt.Sprintf("core: node %d got %v with no pending txn", c.node, m.kind))
+	}
+	if arch.BlockBase(c.pending.req.Addr) != arch.BlockBase(m.addr) {
+		panic(fmt.Sprintf("core: node %d got %v for %#x while waiting on %#x",
+			c.node, m.kind, m.addr, c.pending.req.Addr))
+	}
+	return c.pending
+}
+
+func (c *CacheCtl) handleInval(m *msg) {
+	// Invalidate if present (this also clears a matching LL reservation)
+	// and acknowledge to the requester unconditionally: our copy may
+	// already be gone if our drop/replacement hint is still in flight.
+	v := c.cache.Invalidate(m.addr)
+	if v != nil && v.State == cache.ExclusiveRW {
+		panic(fmt.Sprintf("core: node %d invalidated while owning %#x", c.node, m.addr))
+	}
+	c.sys.eng.After(c.sys.cfg.CacheHitTime, func() {
+		c.sys.send(c.node, m.requester, &msg{
+			kind: mInvAck, addr: m.addr, requester: m.requester, chain: m.chain,
+		}, false)
+	})
+}
+
+func (c *CacheCtl) handleRecall(m *msg) {
+	l := c.cache.Peek(m.addr)
+	home := c.sys.HomeOf(m.addr)
+	if l == nil || l.State != cache.ExclusiveRW {
+		// Our write-back or drop is in flight; tell the home to wait for it.
+		c.sys.send(c.node, home, &msg{
+			kind: mRecallNak, addr: m.addr, requester: m.requester, chain: m.chain,
+		}, true)
+		return
+	}
+	reply := &msg{addr: m.addr, requester: m.requester, data: l.Data, hasData: true, chain: m.chain}
+	if m.kind == mRecallE {
+		c.cache.Invalidate(m.addr)
+		reply.kind = mWBRecall
+	} else {
+		c.cache.Downgrade(m.addr)
+		reply.kind = mWBShare
+	}
+	c.sys.counters.Writebacks++
+	c.sys.eng.After(c.sys.cfg.CacheHitTime, func() { c.sys.send(c.node, home, reply, true) })
+}
+
+// handleCASFwd performs the owner-side comparison of the INVd/INVs
+// compare_and_swap variants.
+func (c *CacheCtl) handleCASFwd(m *msg) {
+	l := c.cache.Peek(m.addr)
+	home := c.sys.HomeOf(m.addr)
+	if l == nil || l.State != cache.ExclusiveRW {
+		c.sys.send(c.node, home, &msg{
+			kind: mRecallNak, addr: m.addr, requester: m.requester, chain: m.chain,
+		}, true)
+		return
+	}
+	old := l.Word(m.addr)
+	if old == m.forwardVal {
+		// Comparison succeeds: surrender the line; the home completes the
+		// grant and the requester performs the swap on its new exclusive
+		// copy, exactly as in plain INV.
+		c.cache.Invalidate(m.addr)
+		c.sys.counters.Writebacks++
+		c.sys.eng.After(c.sys.cfg.CacheHitTime, func() {
+			c.sys.send(c.node, home, &msg{
+				kind: mWBRecall, addr: m.addr, requester: m.requester,
+				data: l.Data, hasData: true, casOK: true, chain: m.chain,
+			}, true)
+		})
+		return
+	}
+	// Comparison fails: the line stays put.
+	if c.sys.cfg.CAS == CASShare {
+		// INVs: give the requester a read-only copy via the home.
+		c.cache.Downgrade(m.addr)
+		c.sys.counters.Writebacks++
+		c.sys.eng.After(c.sys.cfg.CacheHitTime, func() {
+			c.sys.send(c.node, home, &msg{
+				kind: mWBShare, addr: m.addr, requester: m.requester,
+				data: l.Data, hasData: true, casFail: true, chain: m.chain,
+			}, true)
+		})
+		return
+	}
+	// INVd: deny directly; separately release the home's busy state.
+	c.sys.eng.After(c.sys.cfg.CacheHitTime, func() {
+		c.sys.send(c.node, m.requester, &msg{
+			kind: mCASFail, addr: m.addr, requester: m.requester, val: old, chain: m.chain,
+		}, false)
+		c.sys.send(c.node, home, &msg{
+			kind: mCASRel, addr: m.addr, requester: m.requester,
+		}, true)
+	})
+}
+
+func (c *CacheCtl) handleUpdate(m *msg) {
+	if l := c.cache.Peek(m.addr); l != nil {
+		l.SetWord(m.addr, m.updWord)
+	}
+	c.sys.eng.After(c.sys.cfg.CacheHitTime, func() {
+		c.sys.send(c.node, m.requester, &msg{
+			kind: mUpdAck, addr: m.addr, requester: m.requester, chain: m.chain,
+		}, false)
+	})
+}
+
+func (c *CacheCtl) handleAck(m *msg) {
+	t := c.mustPending(m)
+	t.acks++
+	if m.chain > t.chainMax {
+		t.chainMax = m.chain
+	}
+	c.maybeFinishGranted(t)
+}
+
+func (c *CacheCtl) handleDataS(m *msg) {
+	t := c.mustPending(m)
+	c.insert(m.addr, cache.SharedRO, m.data)
+	if m.chain > t.chainMax {
+		t.chainMax = m.chain
+	}
+	req := t.req
+	switch req.Op {
+	case OpLoad, OpLoadExclusive:
+		// load_exclusive reaches here only under UPD, where it degrades
+		// to an ordinary load (no exclusive copies exist).
+		c.sys.trackAccess(req.Addr, c.node, req.Op, false)
+		c.complete(t, Result{Value: m.data[arch.WordIndex(req.Addr)], OK: true, Chain: t.chainMax})
+	case OpLL:
+		c.cache.SetReservation(req.Addr)
+		c.sys.trackAccess(req.Addr, c.node, req.Op, false)
+		c.complete(t, Result{Value: m.data[arch.WordIndex(req.Addr)], OK: true, Chain: t.chainMax})
+	default:
+		panic(fmt.Sprintf("core: node %d got data-s for %v", c.node, req.Op))
+	}
+}
+
+func (c *CacheCtl) handleDataE(m *msg) {
+	t := c.mustPending(m)
+	t.granted = true
+	t.needAcks = m.acks
+	if m.chain > t.chainMax {
+		t.chainMax = m.chain
+	}
+	// Fill the line and apply the operation now: the data is coherent at
+	// grant time and a recall may arrive before the invalidation acks do.
+	l := c.insert(m.addr, cache.ExclusiveRW, m.data)
+	if t.req.Op == OpSC {
+		// The home validated the reservation and invalidated the other
+		// sharers; apply the conditional store.
+		l.SetWord(t.req.Addr, t.req.Val)
+		c.cache.ClearReservation()
+		c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, true)
+		t.result = Result{Value: m.data[arch.WordIndex(t.req.Addr)], OK: true}
+	} else {
+		t.result = c.execOnLine(t.req, l)
+	}
+	c.maybeFinishGranted(t)
+}
+
+// maybeFinishGranted delivers the already-computed result once the grant
+// and all invalidation/update acknowledgments have arrived.
+func (c *CacheCtl) maybeFinishGranted(t *txn) {
+	if !t.granted || t.acks < t.needAcks {
+		return
+	}
+	if t.acks > t.needAcks {
+		panic("core: more acks than sharers")
+	}
+	r := t.result
+	r.Chain = t.chainMax
+	c.complete(t, r)
+}
+
+func (c *CacheCtl) handleCASFail(m *msg) {
+	t := c.mustPending(m)
+	if m.chain > t.chainMax {
+		t.chainMax = m.chain
+	}
+	if m.hasData {
+		// INVs: a read-only copy accompanies the failure.
+		c.insert(m.addr, cache.SharedRO, m.data)
+	}
+	c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, false)
+	c.complete(t, Result{Value: m.val, OK: false, Chain: t.chainMax})
+}
+
+func (c *CacheCtl) handleUncReply(m *msg) {
+	t := c.mustPending(m)
+	if m.chain > t.chainMax {
+		t.chainMax = m.chain
+	}
+	if t.req.Op == OpLL && m.hint {
+		c.llHintFail = true
+	}
+	wrote := t.req.Op.writes() && m.ok
+	c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, wrote)
+	c.complete(t, Result{Value: m.val, OK: m.ok, Serial: m.serial, Hint: m.hint, Chain: t.chainMax})
+}
+
+func (c *CacheCtl) handleUpdReply(m *msg) {
+	t := c.mustPending(m)
+	t.granted = true
+	t.needAcks = m.acks
+	if m.chain > t.chainMax {
+		t.chainMax = m.chain
+	}
+	if m.hasData {
+		// Fill the shared copy now: update messages from later writes may
+		// arrive before the acknowledgments for ours do, and they must
+		// land on this copy, not under it.
+		c.insert(m.addr, cache.SharedRO, m.data)
+	}
+	if t.req.Op == OpLL && m.hint {
+		c.llHintFail = true
+	}
+	wrote := t.req.Op.writes() && m.ok
+	c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, wrote)
+	t.result = Result{Value: m.val, OK: m.ok, Serial: m.serial, Hint: m.hint}
+	c.maybeFinishGranted(t)
+}

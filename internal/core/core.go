@@ -1,0 +1,421 @@
+// Package core implements the paper's contribution: hardware
+// implementations of the general-purpose atomic primitives fetch_and_Φ,
+// compare_and_swap, and load_linked/store_conditional on a directory-based
+// cache-coherent DSM multiprocessor, under three coherence policies for
+// atomically accessed data:
+//
+//   - INV: computational power in the cache controllers, write-invalidate
+//     coherence. Includes the compare_and_swap variants INVd ("deny") and
+//     INVs ("share") that compare at the home/owner and refuse to migrate
+//     the line when the comparison fails.
+//   - UPD: computational power in the memory modules, write-update
+//     coherence.
+//   - UNC: computational power in the memory modules, caching disabled.
+//
+// It also implements the auxiliary instructions load_exclusive and
+// drop_copy, cache-side LL/SC reservations (one reservation bit and address
+// register per processor) and the three memory-side reservation schemes of
+// section 3.1 (full bit vector, limited-k, serial numbers).
+//
+// The protocols are home-centric DASH-style directory protocols with
+// negative acknowledgments and requester retry for transient states, over
+// the substrates in internal/{cache,dir,mem,mesh,sim}.
+package core
+
+import (
+	"fmt"
+
+	"dsm/internal/arch"
+	"dsm/internal/cache"
+	"dsm/internal/dir"
+	"dsm/internal/mem"
+	"dsm/internal/mesh"
+	"dsm/internal/sim"
+	"dsm/internal/stats"
+)
+
+// Policy is the coherence policy applied to a block of atomically accessed
+// data. Ordinary data always uses PolicyINV (the machine's base protocol).
+type Policy uint8
+
+const (
+	// PolicyINV caches sync data under write-invalidate; atomic operations
+	// execute in the cache controller on an exclusive copy.
+	PolicyINV Policy = iota
+	// PolicyUPD caches sync data read-only under write-update; atomic
+	// operations execute at the home memory, which multicasts updates.
+	PolicyUPD
+	// PolicyUNC disables caching; all operations execute at the home
+	// memory.
+	PolicyUNC
+)
+
+// String returns the name used in figures ("INV", "UPD", "UNC").
+func (p Policy) String() string {
+	switch p {
+	case PolicyINV:
+		return "INV"
+	case PolicyUPD:
+		return "UPD"
+	case PolicyUNC:
+		return "UNC"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// CASVariant selects among the paper's INV-policy compare_and_swap
+// implementations.
+type CASVariant uint8
+
+const (
+	// CASPlain always migrates an exclusive copy to the requester (INV).
+	CASPlain CASVariant = iota
+	// CASDeny (INVd) compares at the home or owner; on failure the
+	// requester gets no cached copy.
+	CASDeny
+	// CASShare (INVs) compares at the home or owner; on failure the
+	// requester gets a read-only copy.
+	CASShare
+)
+
+// String returns the name used in figures.
+func (v CASVariant) String() string {
+	switch v {
+	case CASPlain:
+		return "INV"
+	case CASDeny:
+		return "INVd"
+	case CASShare:
+		return "INVs"
+	}
+	return fmt.Sprintf("CASVariant(%d)", uint8(v))
+}
+
+// OpKind identifies a processor-issued memory operation.
+type OpKind uint8
+
+const (
+	OpLoad OpKind = iota
+	OpStore
+	OpLoadExclusive
+	OpDropCopy
+	OpFetchAdd
+	OpFetchStore
+	OpFetchOr
+	OpTestAndSet
+	OpCAS
+	OpLL
+	OpSC
+)
+
+var opNames = [...]string{
+	OpLoad: "load", OpStore: "store", OpLoadExclusive: "load_exclusive",
+	OpDropCopy: "drop_copy", OpFetchAdd: "fetch_and_add",
+	OpFetchStore: "fetch_and_store", OpFetchOr: "fetch_and_or",
+	OpTestAndSet: "test_and_set", OpCAS: "compare_and_swap",
+	OpLL: "load_linked", OpSC: "store_conditional",
+}
+
+// String returns the primitive's conventional name.
+func (o OpKind) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(o))
+}
+
+// IsAtomic reports whether the operation is one of the atomic primitives
+// (as opposed to an ordinary load/store or auxiliary instruction).
+func (o OpKind) IsAtomic() bool {
+	switch o {
+	case OpFetchAdd, OpFetchStore, OpFetchOr, OpTestAndSet, OpCAS, OpLL, OpSC:
+		return true
+	}
+	return false
+}
+
+// writes reports whether the operation (when it succeeds) writes memory.
+func (o OpKind) writes() bool {
+	switch o {
+	case OpStore, OpFetchAdd, OpFetchStore, OpFetchOr, OpTestAndSet, OpCAS, OpSC:
+		return true
+	}
+	return false
+}
+
+// Request is one processor-issued memory operation handed to the node's
+// cache controller. Exactly one request per processor may be outstanding.
+type Request struct {
+	Op   OpKind
+	Addr arch.Addr
+	// Val is the store value, fetch_and_Φ operand, CAS expected value, or
+	// SC value.
+	Val arch.Word
+	// Val2 is the CAS new value, or the expected serial number for SC
+	// under the serial-number reservation scheme.
+	Val2 arch.Word
+	// Done receives the result when the operation completes.
+	Done func(Result)
+}
+
+// Result is the outcome of a completed Request.
+type Result struct {
+	// Value is the loaded or fetched (old) value.
+	Value arch.Word
+	// OK is the success indication of compare_and_swap and
+	// store_conditional; true for all other operations.
+	OK bool
+	// Serial is the block's write serial number returned by load_linked
+	// under the serial-number reservation scheme.
+	Serial arch.Word
+	// Hint is the beyond-the-limit failure hint returned by load_linked
+	// under the limited reservation scheme.
+	Hint bool
+	// Chain is the number of serialized network messages this operation
+	// required (Table 1's metric). Local hits are 0.
+	Chain int
+}
+
+// Config carries the protocol and timing configuration of the system.
+type Config struct {
+	Nodes int // processor/memory node count (must fit the mesh)
+
+	Cache cache.Config
+	Mem   mem.Config
+	Mesh  mesh.Config
+
+	CacheHitTime sim.Time // cycles for a cache hit / local controller step
+	RetryDelay   sim.Time // base delay before retrying a NAKed request
+
+	CAS CASVariant // INV-policy compare_and_swap implementation
+
+	// ResvScheme and ResvLimit select the memory-side LL/SC reservation
+	// representation (UNC and UPD policies).
+	ResvScheme dir.ResvScheme
+	ResvLimit  int
+
+	// Track enables contention and write-run tracking of atomically
+	// accessed locations.
+	Track bool
+}
+
+// DefaultConfig is the machine of the paper's methodology: 64 nodes,
+// directory-based 32-byte-block caches, queued memory, 2-D wormhole mesh.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:        64,
+		Cache:        cache.DefaultConfig(),
+		Mem:          mem.DefaultConfig(),
+		Mesh:         mesh.DefaultConfig(),
+		CacheHitTime: 1,
+		RetryDelay:   20,
+		CAS:          CASPlain,
+		ResvScheme:   dir.ResvBitVector,
+		ResvLimit:    4,
+		Track:        true,
+	}
+}
+
+// Counters aggregates protocol-level event counts across the system.
+type Counters struct {
+	Requests    uint64 // processor requests issued
+	LocalHits   uint64 // requests satisfied without leaving the node
+	Naks        uint64 // negative acknowledgments received by requesters
+	Retries     uint64 // request retries after NAK
+	Invals      uint64 // invalidation messages sent
+	Updates     uint64 // update messages sent
+	Writebacks  uint64 // dirty data returned to memory
+	SCFailLocal uint64 // store_conditionals failed without network traffic
+}
+
+// System is the collection of cache controllers and home controllers over
+// one machine's substrates. All methods must be called from the simulation
+// engine's event loop (or before it starts).
+type System struct {
+	cfg    Config
+	eng    *sim.Engine
+	mesh   *mesh.Mesh
+	caches []*CacheCtl
+	homes  []*HomeCtl
+
+	policy map[arch.Addr]Policy // block base -> policy; absent = PolicyINV
+
+	counters   Counters
+	chains     *stats.ChainRecorder
+	contention *stats.ContentionTracker
+	writeRuns  *stats.WriteRunTracker
+	syncLocs   map[arch.Addr]bool // word addresses ever accessed atomically
+
+	tracer Tracer
+}
+
+// Tracer receives protocol events (see internal/trace for a ring-buffer
+// implementation). A nil tracer costs nothing.
+type Tracer interface {
+	Record(at sim.Time, node int, kind, detail string)
+}
+
+// SetTracer installs (or, with nil, removes) a protocol event tracer.
+func (s *System) SetTracer(t Tracer) { s.tracer = t }
+
+// trace records one protocol event when a tracer is installed.
+func (s *System) trace(node mesh.NodeID, kind, format string, args ...any) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Record(s.eng.Now(), int(node), kind, fmt.Sprintf(format, args...))
+}
+
+// NewSystem builds the controllers for a machine with the given
+// configuration over the given engine and mesh.
+func NewSystem(eng *sim.Engine, net *mesh.Mesh, cfg Config) *System {
+	if cfg.Nodes <= 0 || cfg.Nodes > 64 {
+		panic(fmt.Sprintf("core: node count %d outside 1..64", cfg.Nodes))
+	}
+	if cfg.Nodes > net.Nodes() {
+		panic("core: more nodes than mesh positions")
+	}
+	s := &System{
+		cfg:        cfg,
+		eng:        eng,
+		mesh:       net,
+		policy:     make(map[arch.Addr]Policy),
+		chains:     stats.NewChainRecorder(),
+		contention: stats.NewContentionTracker(),
+		writeRuns:  stats.NewWriteRunTracker(),
+		syncLocs:   make(map[arch.Addr]bool),
+	}
+	s.caches = make([]*CacheCtl, cfg.Nodes)
+	s.homes = make([]*HomeCtl, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		s.caches[n] = newCacheCtl(s, mesh.NodeID(n))
+		s.homes[n] = newHomeCtl(s, mesh.NodeID(n))
+	}
+	return s
+}
+
+// Cache returns node n's cache controller.
+func (s *System) Cache(n mesh.NodeID) *CacheCtl { return s.caches[n] }
+
+// Home returns node n's home (memory/directory) controller.
+func (s *System) Home(n mesh.NodeID) *HomeCtl { return s.homes[n] }
+
+// Nodes returns the number of processing nodes.
+func (s *System) Nodes() int { return s.cfg.Nodes }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// HomeOf returns the home node of an address: blocks are interleaved across
+// the nodes by block number.
+func (s *System) HomeOf(a arch.Addr) mesh.NodeID {
+	return mesh.NodeID(int(arch.BlockNumber(a)) % s.cfg.Nodes)
+}
+
+// SetPolicy assigns a coherence policy to the block containing a. It must
+// be called before any reference to the block (policy changes with data in
+// flight are not modeled; real machines would flush first).
+func (s *System) SetPolicy(a arch.Addr, p Policy) {
+	s.policy[arch.BlockBase(a)] = p
+}
+
+// SetPolicyRange assigns a policy to every block overlapping [a, a+size).
+func (s *System) SetPolicyRange(a arch.Addr, size uint32, p Policy) {
+	for b := arch.BlockBase(a); b < a+arch.Addr(size); b += arch.BlockBytes {
+		s.policy[b] = p
+	}
+}
+
+// PolicyOf returns the coherence policy of the block containing a.
+func (s *System) PolicyOf(a arch.Addr) Policy {
+	return s.policy[arch.BlockBase(a)]
+}
+
+// Counters returns a snapshot of the protocol counters.
+func (s *System) Counters() Counters { return s.counters }
+
+// Chains returns the serialized-message-chain recorder (Table 1).
+func (s *System) Chains() *stats.ChainRecorder { return s.chains }
+
+// Contention returns the contention tracker (Figure 2).
+func (s *System) Contention() *stats.ContentionTracker { return s.contention }
+
+// WriteRuns returns the write-run-length tracker (section 4.2). Call Flush
+// on it at the end of a run before reading the mean.
+func (s *System) WriteRuns() *stats.WriteRunTracker { return s.writeRuns }
+
+// CheckCoherence validates the global single-writer/multi-reader invariant:
+// for every block, either at most one cache holds it Exclusive and no cache
+// holds it Shared, or any number hold it Shared; and the directory entry
+// (when quiescent) agrees with cache contents. It panics with a description
+// of the first violation. Intended for tests; call only when no transaction
+// is in flight.
+func (s *System) CheckCoherence() {
+	type copies struct {
+		shared []mesh.NodeID
+		excl   []mesh.NodeID
+	}
+	seen := make(map[arch.Addr]*copies)
+	for n, cc := range s.caches {
+		n := mesh.NodeID(n)
+		cc.cache.ForEach(func(l *cache.Line) {
+			c := seen[l.Base]
+			if c == nil {
+				c = &copies{}
+				seen[l.Base] = c
+			}
+			switch l.State {
+			case cache.SharedRO:
+				c.shared = append(c.shared, n)
+			case cache.ExclusiveRW:
+				c.excl = append(c.excl, n)
+			}
+		})
+	}
+	for base, c := range seen {
+		if len(c.excl) > 1 {
+			panic(fmt.Sprintf("core: block %#x exclusive in %v", base, c.excl))
+		}
+		if len(c.excl) == 1 && len(c.shared) > 0 {
+			panic(fmt.Sprintf("core: block %#x exclusive in %d and shared in %v",
+				base, c.excl[0], c.shared))
+		}
+		e := s.homes[s.HomeOf(base)].dir.Peek(base)
+		if e == nil {
+			panic(fmt.Sprintf("core: block %#x cached but unknown to home", base))
+		}
+		if len(c.excl) == 1 && (e.State != dir.Exclusive || e.Owner != c.excl[0]) {
+			panic(fmt.Sprintf("core: block %#x owner %d but directory %v/%d",
+				base, c.excl[0], e.State, e.Owner))
+		}
+		for _, n := range c.shared {
+			if e.State != dir.Shared || !e.Sharers.Has(n) {
+				panic(fmt.Sprintf("core: block %#x shared in %d but directory %v/%b",
+					base, n, e.State, e.Sharers))
+			}
+		}
+	}
+}
+
+// trackAccess feeds the write-run and sync-location bookkeeping for one
+// completed (or locally performed) access.
+func (s *System) trackAccess(a arch.Addr, proc mesh.NodeID, op OpKind, wrote bool) {
+	if !s.cfg.Track {
+		return
+	}
+	loc := stats.Location(a)
+	if op.IsAtomic() {
+		s.syncLocs[a] = true
+	}
+	if s.syncLocs[a] {
+		s.writeRuns.Access(loc, int(proc), wrote)
+	}
+}
+
+// net reports whether a message between two nodes crosses the network.
+func (s *System) net(a, b mesh.NodeID) int {
+	if a == b {
+		return 0
+	}
+	return 1
+}

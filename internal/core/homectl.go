@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+
+	"dsm/internal/arch"
+	"dsm/internal/dir"
+	"dsm/internal/mem"
+	"dsm/internal/mesh"
+)
+
+// homeTxn is the home controller's per-block transient state: an
+// outstanding recall (awaiting data or a negative answer from the owner),
+// or a wait for an in-flight write-back after a recall found the owner's
+// copy already gone.
+type homeTxn struct {
+	owner mesh.NodeID // node the data must come from
+	orig  *msg        // request to replay when the data arrives; nil for awaitWB
+}
+
+// HomeCtl is one node's memory/directory controller: the serialization
+// point for its share of the address space, and the locus of computational
+// power for the UPD and UNC implementations of the atomic primitives.
+type HomeCtl struct {
+	sys  *System
+	node mesh.NodeID
+	mod  *mem.Module
+	dir  *dir.Directory
+	busy map[arch.Addr]*homeTxn // block base -> in-flight transaction
+}
+
+func newHomeCtl(s *System, n mesh.NodeID) *HomeCtl {
+	return &HomeCtl{
+		sys:  s,
+		node: n,
+		mod:  mem.New(s.eng, s.cfg.Mem),
+		dir:  dir.New(),
+		busy: make(map[arch.Addr]*homeTxn),
+	}
+}
+
+// Node returns the controller's node id.
+func (h *HomeCtl) Node() mesh.NodeID { return h.node }
+
+// Memory exposes the underlying module (allocation, tests, and debugging).
+func (h *HomeCtl) Memory() *mem.Module { return h.mod }
+
+// Directory exposes the directory (tests and invariant checks).
+func (h *HomeCtl) Directory() *dir.Directory { return h.dir }
+
+// receive queues the message through the memory bank: every home-side
+// action costs one (queued) memory access, which is how memory contention
+// enters the model.
+func (h *HomeCtl) receive(m *msg) {
+	h.mod.Access(func() { h.process(m) })
+}
+
+func (h *HomeCtl) process(m *msg) {
+	base := arch.BlockBase(m.addr)
+	switch m.kind {
+	case mRead, mReadEx, mSCHome, mCASHome, mUncOp, mUpdRead, mUpdOp:
+		h.handleRequest(m, base)
+	case mWB, mWBRecall, mWBShare:
+		h.handleDataReturn(m, base)
+	case mDropS:
+		h.handleDropS(m, base)
+	case mRecallNak:
+		h.handleRecallNak(m, base)
+	case mCASRel:
+		h.handleCASRel(m, base)
+	default:
+		panic(fmt.Sprintf("core: home %d received %v", h.node, m.kind))
+	}
+}
+
+// reply sends a response to the transaction's requester.
+func (h *HomeCtl) reply(m *msg, r *msg) {
+	r.addr = m.addr
+	r.requester = m.requester
+	r.op = m.op
+	r.chain = m.chain
+	h.sys.send(h.node, m.requester, r, false)
+}
+
+func (h *HomeCtl) nak(m *msg) {
+	h.reply(m, &msg{kind: mNak})
+}
+
+// recall puts the block in the busy state and asks the current owner for
+// the data (or, for mCASFwd, for an owner-side comparison).
+func (h *HomeCtl) recall(m *msg, base arch.Addr, owner mesh.NodeID, kind msgKind) {
+	h.busy[base] = &homeTxn{owner: owner, orig: m}
+	fwd := &msg{
+		kind: kind, addr: m.addr, requester: m.requester,
+		forwardVal: m.val, forwardV2: m.val2, chain: m.chain,
+	}
+	h.sys.send(h.node, owner, fwd, false)
+}
+
+func (h *HomeCtl) handleRequest(m *msg, base arch.Addr) {
+	if h.busy[base] != nil {
+		h.nak(m)
+		return
+	}
+	e := h.dir.Entry(base)
+	defer e.Check(base)
+	switch m.kind {
+	case mRead:
+		h.handleRead(m, base, e)
+	case mReadEx:
+		h.handleReadEx(m, base, e)
+	case mSCHome:
+		h.handleSCHome(m, base, e)
+	case mCASHome:
+		h.handleCASHome(m, base, e)
+	case mUncOp:
+		h.handleUncOp(m, base, e)
+	case mUpdRead:
+		h.handleUpdRead(m, base, e)
+	case mUpdOp:
+		h.handleUpdOp(m, base, e)
+	}
+}
+
+// ------------------------------------------------------------- INV ------
+
+func (h *HomeCtl) handleRead(m *msg, base arch.Addr, e *dir.Entry) {
+	switch e.State {
+	case dir.Unowned, dir.Shared:
+		e.State = dir.Shared
+		e.Sharers.Add(m.requester)
+		h.reply(m, &msg{kind: mDataS, data: h.mod.ReadBlock(base), hasData: true})
+	case dir.Exclusive:
+		if e.Owner == m.requester {
+			// The requester's write-back is in flight; retry until it lands.
+			h.nak(m)
+			return
+		}
+		h.recall(m, base, e.Owner, mRecallS)
+	default:
+		h.nak(m)
+	}
+}
+
+func (h *HomeCtl) handleReadEx(m *msg, base arch.Addr, e *dir.Entry) {
+	switch e.State {
+	case dir.Unowned:
+		h.grantExclusive(m, base, e, false)
+	case dir.Shared:
+		h.grantExclusive(m, base, e, false)
+	case dir.Exclusive:
+		if e.Owner == m.requester {
+			h.nak(m)
+			return
+		}
+		h.recall(m, base, e.Owner, mRecallE)
+	default:
+		h.nak(m)
+	}
+}
+
+// grantExclusive transfers the block exclusively to the requester from the
+// Unowned or Shared state: invalidations go to the other sharers, which
+// acknowledge directly to the requester; the grant carries the expected
+// acknowledgment count. scGrant marks a store_conditional success grant.
+func (h *HomeCtl) grantExclusive(m *msg, base arch.Addr, e *dir.Entry, scGrant bool) {
+	var others []mesh.NodeID
+	e.Sharers.ForEach(func(n mesh.NodeID) {
+		if n != m.requester {
+			others = append(others, n)
+		}
+	})
+	for _, n := range others {
+		h.sys.counters.Invals++
+		h.sys.send(h.node, n, &msg{
+			kind: mInval, addr: m.addr, requester: m.requester, chain: m.chain,
+		}, false)
+	}
+	e.State = dir.Exclusive
+	e.Sharers = 0
+	e.Owner = m.requester
+	h.reply(m, &msg{
+		kind: mDataE, data: h.mod.ReadBlock(base), hasData: true,
+		acks: len(others), ok: scGrant,
+	})
+}
+
+func (h *HomeCtl) handleSCHome(m *msg, base arch.Addr, e *dir.Entry) {
+	if e.State == dir.Shared && e.Sharers.Has(m.requester) {
+		// No write intervened since the reservation was set (any write
+		// would have invalidated the requester's copy first): succeed.
+		h.grantExclusive(m, base, e, true)
+		return
+	}
+	// Exclusive elsewhere or unowned: fail, per the paper's protocol.
+	h.reply(m, &msg{kind: mSCFail})
+}
+
+func (h *HomeCtl) handleCASHome(m *msg, base arch.Addr, e *dir.Entry) {
+	switch e.State {
+	case dir.Unowned, dir.Shared:
+		old := h.mod.ReadWord(m.addr)
+		if old == m.val {
+			// Comparison succeeds at home: behave like INV (the requester
+			// acquires an exclusive copy and performs the swap locally).
+			h.grantExclusive(m, base, e, false)
+			return
+		}
+		fail := &msg{kind: mCASFail, val: old}
+		if h.sys.cfg.CAS == CASShare {
+			e.State = dir.Shared
+			e.Sharers.Add(m.requester)
+			fail.data = h.mod.ReadBlock(base)
+			fail.hasData = true
+		}
+		h.reply(m, fail)
+	case dir.Exclusive:
+		if e.Owner == m.requester {
+			h.nak(m)
+			return
+		}
+		// Compare at the owner, which has the most up-to-date copy.
+		h.recall(m, base, e.Owner, mCASFwd)
+	default:
+		h.nak(m)
+	}
+}
+
+// handleDataReturn processes dirty data arriving at the home: ordinary
+// write-backs (eviction or drop_copy), and the owner's responses to
+// recalls and forwarded CAS comparisons.
+func (h *HomeCtl) handleDataReturn(m *msg, base arch.Addr) {
+	e := h.dir.Entry(base)
+	if t := h.busy[base]; t != nil {
+		if m.src != t.owner {
+			panic(fmt.Sprintf("core: home %d got %v for busy %#x from %d, expected %d",
+				h.node, m.kind, base, m.src, t.owner))
+		}
+		h.mod.WriteBlock(base, m.data)
+		if m.kind == mWBShare {
+			// The owner kept a read-only copy (read recall or INVs fail).
+			e.State = dir.Shared
+			e.Sharers = 0
+			e.Sharers.Add(t.owner)
+			e.Owner = 0
+		} else {
+			e.State = dir.Unowned
+			e.Sharers = 0
+			e.Owner = 0
+		}
+		delete(h.busy, base)
+		e.Check(base)
+		if t.orig != nil {
+			// Replay the waiting request against the refreshed directory
+			// state; the chain accumulated so far carries over, giving the
+			// paper's 4-serialized-message remote-exclusive store path.
+			orig := *t.orig
+			orig.chain = m.chain
+			h.handleRequest(&orig, base)
+		}
+		return
+	}
+	// Spontaneous write-back from the recorded owner.
+	if e.State != dir.Exclusive || e.Owner != m.src {
+		panic(fmt.Sprintf("core: home %d got %v for %#x in state %v from %d",
+			h.node, m.kind, base, e.State, m.src))
+	}
+	if m.kind != mWB {
+		panic(fmt.Sprintf("core: unexpected %v outside a recall", m.kind))
+	}
+	h.mod.WriteBlock(base, m.data)
+	e.State = dir.Unowned
+	e.Owner = 0
+	e.Check(base)
+}
+
+func (h *HomeCtl) handleDropS(m *msg, base arch.Addr) {
+	e := h.dir.Entry(base)
+	// The drop hint may be stale (the sharer was already invalidated or
+	// the block moved on); act only if the sender is still recorded.
+	if e.State == dir.Shared && e.Sharers.Has(m.src) {
+		e.Sharers.Remove(m.src)
+		if e.Sharers.Empty() {
+			e.State = dir.Unowned
+		}
+	}
+}
+
+func (h *HomeCtl) handleRecallNak(m *msg, base arch.Addr) {
+	t := h.busy[base]
+	if t == nil || t.owner != m.src || t.orig == nil {
+		// Stale: the write-back arrived first and completed the recall.
+		return
+	}
+	// The owner's copy is already on its way back as a write-back. NAK the
+	// waiting requester (it will retry, per the paper's drop_copy
+	// discussion) and hold the block until the write-back lands.
+	h.nak(t.orig)
+	t.orig = nil
+}
+
+func (h *HomeCtl) handleCASRel(m *msg, base arch.Addr) {
+	t := h.busy[base]
+	if t == nil || t.owner != m.src {
+		return
+	}
+	// INVd failure handled entirely at the owner; ownership is unchanged.
+	delete(h.busy, base)
+}
+
+// ------------------------------------------------------- UNC and UPD ----
+
+// execMem performs an operation at the memory: the locus of computational
+// power for the UNC and UPD implementations.
+func (h *HomeCtl) execMem(e *dir.Entry, m *msg) (val arch.Word, ok, wrote bool, serial arch.Word, hint bool) {
+	old := h.mod.ReadWord(m.addr)
+	val, ok = old, true
+	write := func(v arch.Word) {
+		h.mod.WriteWord(m.addr, v)
+		wrote = true
+		if e.Reservations != nil {
+			e.Reservations.OnWrite()
+		}
+	}
+	switch m.op {
+	case OpLoad, OpLoadExclusive:
+		// Reads; load_exclusive degenerates to a load at memory.
+	case OpStore:
+		write(m.val)
+	case OpFetchAdd:
+		write(old + m.val)
+	case OpFetchStore:
+		write(m.val)
+	case OpFetchOr:
+		write(old | m.val)
+	case OpTestAndSet:
+		write(1)
+	case OpCAS:
+		if old == m.val {
+			write(m.val2)
+		} else {
+			ok = false
+		}
+	case OpLL:
+		rs := h.reservations(e)
+		hint = !rs.Reserve(m.requester)
+		serial = rs.Serial()
+	case OpSC:
+		rs := h.reservations(e)
+		if rs.Validate(m.requester, m.val2) {
+			write(m.val)
+		} else {
+			ok = false
+		}
+	default:
+		panic(fmt.Sprintf("core: execMem of %v", m.op))
+	}
+	h.sys.trackAccess(m.addr, m.requester, m.op, wrote)
+	return val, ok, wrote, serial, hint
+}
+
+func (h *HomeCtl) reservations(e *dir.Entry) *dir.ResvState {
+	if e.Reservations == nil {
+		e.Reservations = dir.NewResvState(h.sys.cfg.ResvScheme, h.sys.cfg.ResvLimit)
+	}
+	return e.Reservations
+}
+
+func (h *HomeCtl) handleUncOp(m *msg, base arch.Addr, e *dir.Entry) {
+	val, ok, _, serial, hint := h.execMem(e, m)
+	h.reply(m, &msg{kind: mUncReply, val: val, ok: ok, serial: serial, hint: hint})
+}
+
+func (h *HomeCtl) handleUpdRead(m *msg, base arch.Addr, e *dir.Entry) {
+	e.State = dir.Shared
+	e.Sharers.Add(m.requester)
+	h.reply(m, &msg{kind: mDataS, data: h.mod.ReadBlock(base), hasData: true})
+}
+
+func (h *HomeCtl) handleUpdOp(m *msg, base arch.Addr, e *dir.Entry) {
+	val, ok, wrote, serial, hint := h.execMem(e, m)
+	acks := 0
+	newWord := h.mod.ReadWord(m.addr)
+	// Updates go out only when the value actually changed: a write of the
+	// same value (e.g. test_and_set on an already-held lock) leaves every
+	// cached copy correct. This is why, under UPD, "only successful
+	// writes cause updates" (section 4.3.1).
+	if wrote && newWord != val {
+		e.Sharers.ForEach(func(n mesh.NodeID) {
+			if n == m.requester {
+				return
+			}
+			acks++
+			h.sys.counters.Updates++
+			h.sys.send(h.node, n, &msg{
+				kind: mUpdate, addr: m.addr, requester: m.requester,
+				updWord: newWord, chain: m.chain,
+			}, false)
+		})
+	}
+	// The requester retains (or acquires) a shared copy of the block.
+	e.State = dir.Shared
+	e.Sharers.Add(m.requester)
+	h.reply(m, &msg{
+		kind: mUpdReply, val: val, ok: ok, serial: serial, hint: hint,
+		data: h.mod.ReadBlock(base), hasData: true, acks: acks,
+	})
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"dsm/internal/arch"
+	"dsm/internal/mesh"
+)
+
+// msgKind enumerates every protocol message.
+type msgKind uint8
+
+const (
+	// Requests, cache controller -> home.
+	mRead    msgKind = iota // read miss, wants a shared copy
+	mReadEx                 // store/atomic/load_exclusive, wants an exclusive copy
+	mCASHome                // INVd/INVs compare_and_swap at home/owner
+	mSCHome                 // store_conditional check at home
+	mWB                     // write-back of an exclusive copy (eviction or drop_copy)
+	mDropS                  // replacement/drop hint from a shared-copy holder
+	mUncOp                  // UNC-policy operation to be executed at memory
+	mUpdRead                // UPD-policy read miss
+	mUpdOp                  // UPD-policy write/atomic to be executed at memory
+
+	// Replies, home -> requesting cache controller.
+	mDataS    // shared copy grant (also UPD read-miss reply)
+	mDataE    // exclusive copy grant; Acks invalidation acks to expect
+	mNak      // negative acknowledgment; requester retries
+	mCASFail  // INVd/INVs failure (HasData distinguishes INVs)
+	mSCFail   // store_conditional failure determined at home
+	mUncReply // UNC operation result
+	mUpdReply // UPD operation result; Acks update acks to expect
+
+	// Coherence traffic.
+	mInval     // home -> sharer: invalidate; ack to Requester
+	mInvAck    // sharer -> requester
+	mRecallE   // home -> owner: surrender exclusive copy for a waiting request
+	mRecallS   // home -> owner: downgrade to shared for a waiting read
+	mCASFwd    // home -> owner: compare at owner (INVd/INVs)
+	mWBRecall  // owner -> home: data in response to mRecallE/successful mCASFwd
+	mWBShare   // owner -> home: data, owner kept a shared copy (mRecallS/INVs fail)
+	mRecallNak // owner -> home: recalled line no longer present (write-back races)
+	mCASRel    // owner -> home: INVd failure handled at owner; clear busy state
+	mUpdate    // home -> sharer: UPD write of one word; ack to Requester
+	mUpdAck    // sharer -> requester
+)
+
+var msgNames = [...]string{
+	mRead: "read", mReadEx: "read-ex", mCASHome: "cas-home", mSCHome: "sc-home",
+	mWB: "wb", mDropS: "drop-s", mUncOp: "unc-op", mUpdRead: "upd-read",
+	mUpdOp: "upd-op", mDataS: "data-s", mDataE: "data-e", mNak: "nak",
+	mCASFail: "cas-fail", mSCFail: "sc-fail", mUncReply: "unc-reply",
+	mUpdReply: "upd-reply", mInval: "inval", mInvAck: "inv-ack",
+	mRecallE: "recall-e", mRecallS: "recall-s", mCASFwd: "cas-fwd",
+	mWBRecall: "wb-recall", mWBShare: "wb-share", mRecallNak: "recall-nak",
+	mCASRel: "cas-rel", mUpdate: "update", mUpdAck: "upd-ack",
+}
+
+func (k msgKind) String() string {
+	if int(k) < len(msgNames) {
+		return msgNames[k]
+	}
+	return "msg?"
+}
+
+// msg is one protocol message. A single struct covers all kinds; unused
+// fields are zero.
+type msg struct {
+	kind msgKind
+	addr arch.Addr   // word address of the operation (block derived)
+	src  mesh.NodeID // sender
+	// Requester is the node whose processor issued the transaction this
+	// message belongs to (acks from third parties flow directly to it).
+	requester mesh.NodeID
+
+	op         OpKind // original operation (requests and replies)
+	val, val2  arch.Word
+	data       arch.BlockData // block payload for data-bearing kinds
+	hasData    bool
+	acks       int       // mDataE/mUpdReply: acknowledgments to expect
+	ok         bool      // operation success (CAS/SC), or compare outcome
+	serial     arch.Word // LL serial number (serial reservation scheme)
+	hint       bool      // LL beyond-limit failure hint
+	casOK      bool      // mWBRecall: recall caused by a successful CASFwd
+	casFail    bool      // mWBShare: data return caused by a failed INVs CAS
+	updWord    arch.Word // mUpdate: new value of the word at addr
+	chain      int       // serialized network messages so far (Table 1)
+	forwardVal arch.Word // mCASFwd/mRecallE carry the original operands
+	forwardV2  arch.Word
+}
+
+// payloadBytes estimates the message payload size for flit accounting:
+// 8 bytes of address/operands for control messages, plus the 32-byte block
+// for data-bearing messages (the paper's serial-number scheme notes that
+// LL/SC message sizes grow by the serial size; we include 4 bytes for it).
+func (m *msg) payloadBytes() int {
+	n := 8
+	switch m.kind {
+	case mCASHome, mUncOp, mUpdOp, mCASFwd:
+		n = 16 // two operands
+	}
+	if m.hasData {
+		n += arch.BlockBytes
+	}
+	if m.serial != 0 || m.kind == mUncReply || m.kind == mUpdReply {
+		n += 4
+	}
+	return n
+}
+
+// send routes a message and invokes the destination controller's handler on
+// delivery, maintaining the serialized-chain count. All sends go through
+// here so chain accounting cannot be forgotten.
+func (s *System) send(src, dst mesh.NodeID, m *msg, toHome bool) {
+	m.src = src
+	m.chain += s.net(src, dst)
+	s.trace(src, "send", "%v -> n%02d addr=%#x chain=%d", m.kind, dst, m.addr, m.chain)
+	flits := s.mesh.Flits(m.payloadBytes())
+	if toHome {
+		s.mesh.Send(src, dst, flits, func() { s.homes[dst].receive(m) })
+	} else {
+		s.mesh.Send(src, dst, flits, func() { s.caches[dst].receive(m) })
+	}
+}

@@ -1,0 +1,150 @@
+// Package dir implements the full-map directory state kept by each home
+// memory module in the DASH-style protocols of the paper. A directory entry
+// records, per 32-byte block, whether memory's copy is current, which caches
+// hold copies, and — for the memory-side implementations of load_linked /
+// store_conditional — the outstanding reservations.
+package dir
+
+import (
+	"fmt"
+
+	"dsm/internal/arch"
+	"dsm/internal/mesh"
+)
+
+// State is the stable sharing state of a block as recorded at its home.
+type State uint8
+
+const (
+	// Unowned: no cache holds a copy; memory is current. (The paper calls
+	// this case "uncached" in Table 1.)
+	Unowned State = iota
+	// Shared: one or more caches hold read-only copies; memory is current.
+	Shared
+	// Exclusive: exactly one cache holds an exclusive (dirty) copy; memory
+	// is stale.
+	Exclusive
+	// Busy: a transaction is in flight for this block; incoming requests
+	// are refused with negative acknowledgments and retried by requesters.
+	Busy
+)
+
+// String returns a short human-readable state name.
+func (s State) String() string {
+	switch s {
+	case Unowned:
+		return "unowned"
+	case Shared:
+		return "shared"
+	case Exclusive:
+		return "exclusive"
+	case Busy:
+		return "busy"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Bitset is a set of node ids (up to 64 nodes, the machine size in the
+// paper). The zero value is the empty set.
+type Bitset uint64
+
+// Add inserts node n.
+func (b *Bitset) Add(n mesh.NodeID) { *b |= 1 << uint(n) }
+
+// Remove deletes node n.
+func (b *Bitset) Remove(n mesh.NodeID) { *b &^= 1 << uint(n) }
+
+// Has reports whether node n is present.
+func (b Bitset) Has(n mesh.NodeID) bool { return b&(1<<uint(n)) != 0 }
+
+// Count returns the number of nodes present.
+func (b Bitset) Count() int {
+	n := 0
+	for v := uint64(b); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Empty reports whether the set is empty.
+func (b Bitset) Empty() bool { return b == 0 }
+
+// ForEach calls fn for each node present, in increasing id order.
+func (b Bitset) ForEach(fn func(mesh.NodeID)) {
+	for v, i := uint64(b), 0; v != 0; v, i = v>>1, i+1 {
+		if v&1 != 0 {
+			fn(mesh.NodeID(i))
+		}
+	}
+}
+
+// Only reports whether the set contains exactly node n and nothing else.
+func (b Bitset) Only(n mesh.NodeID) bool { return b == 1<<uint(n) }
+
+// Entry is the directory record for one block.
+type Entry struct {
+	State   State
+	Sharers Bitset      // caches holding read-only copies (State == Shared)
+	Owner   mesh.NodeID // cache holding the exclusive copy (State == Exclusive)
+
+	// Reservations holds memory-side LL/SC reservation state for the UNC
+	// and UPD implementations; nil until the first load_linked.
+	Reservations *ResvState
+}
+
+// Directory is the per-home-node collection of entries, keyed by block base
+// address. Entries are created on first reference in the Unowned state.
+type Directory struct {
+	entries map[arch.Addr]*Entry
+}
+
+// New returns an empty directory.
+func New() *Directory {
+	return &Directory{entries: make(map[arch.Addr]*Entry)}
+}
+
+// Entry returns the entry for the block containing a, creating it (Unowned)
+// on first reference.
+func (d *Directory) Entry(a arch.Addr) *Entry {
+	base := arch.BlockBase(a)
+	e := d.entries[base]
+	if e == nil {
+		e = &Entry{State: Unowned}
+		d.entries[base] = e
+	}
+	return e
+}
+
+// Peek returns the entry for the block containing a, or nil if the block
+// has never been referenced.
+func (d *Directory) Peek(a arch.Addr) *Entry {
+	return d.entries[arch.BlockBase(a)]
+}
+
+// ForEach calls fn for every allocated entry. Iteration order is
+// unspecified; callers needing determinism must sort.
+func (d *Directory) ForEach(fn func(arch.Addr, *Entry)) {
+	for a, e := range d.entries {
+		fn(a, e)
+	}
+}
+
+// Check verifies the internal consistency of an entry and panics with a
+// descriptive message on violation. It is called from the protocol engines
+// in race-heavy tests.
+func (e *Entry) Check(base arch.Addr) {
+	switch e.State {
+	case Unowned:
+		if !e.Sharers.Empty() {
+			panic(fmt.Sprintf("dir: unowned block %#x has sharers %b", base, e.Sharers))
+		}
+	case Shared:
+		if e.Sharers.Empty() {
+			panic(fmt.Sprintf("dir: shared block %#x has no sharers", base))
+		}
+	case Exclusive:
+		if !e.Sharers.Empty() {
+			panic(fmt.Sprintf("dir: exclusive block %#x has sharers %b", base, e.Sharers))
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"dsm/internal/apps"
+	"dsm/internal/core"
+	"dsm/internal/locks"
+	"dsm/internal/machine"
+)
+
+// WriteTable1CSV renders Table 1 as CSV (case,paper,measured).
+func WriteTable1CSV(w io.Writer) {
+	fmt.Fprintln(w, "case,paper,measured")
+	for _, r := range Table1() {
+		fmt.Fprintf(w, "%q,%d,%d\n", r.Case, r.Paper, r.Got)
+	}
+}
+
+// WriteSyntheticCSV renders one of figures 3-5 as CSV rows of
+// (bar,pattern,avg_cycles_per_update).
+func WriteSyntheticCSV(w io.Writer, name string, app func(*machine.Machine, core.Policy, locks.Options, apps.Pattern) apps.SyntheticResult, o RunOpts) {
+	grid, bars, pats := SyntheticFigure(app, o)
+	fmt.Fprintln(w, "figure,bar,pattern,avg_cycles")
+	for pi, pat := range pats {
+		for bi, bar := range bars {
+			fmt.Fprintf(w, "%s,%q,%q,%.2f\n", name, bar.Label, pat.String(), grid[pi][bi])
+		}
+	}
+}
+
+// WriteFig6CSV renders figure 6 as CSV rows of (app,bar,elapsed_cycles).
+func WriteFig6CSV(w io.Writer, o RunOpts) {
+	fmt.Fprintln(w, "app,bar,elapsed_cycles")
+	for _, bar := range SyntheticBars() {
+		for _, app := range RealApps() {
+			_, elapsed := RunReal(app, o, bar)
+			fmt.Fprintf(w, "%s,%q,%d\n", app, bar.Label, elapsed)
+		}
+	}
+}

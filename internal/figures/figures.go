@@ -1,0 +1,278 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"dsm/internal/apps"
+	"dsm/internal/arch"
+	"dsm/internal/core"
+	"dsm/internal/locks"
+	"dsm/internal/machine"
+	"dsm/internal/stats"
+)
+
+// Table1Row is one measured row of Table 1.
+type Table1Row struct {
+	Case  string
+	Paper int // serialized messages the paper reports
+	Got   int // serialized messages measured from the simulator
+}
+
+// Table1 measures the serialized network message counts for stores under
+// every coherence situation of the paper's Table 1, by constructing each
+// situation directly and reading the transaction's chain length.
+func Table1() []Table1Row {
+	cfg := core.DefaultConfig()
+	run := func(policy core.Policy, setup func(m *machine.Machine, a arch.Addr), measure func(m *machine.Machine, a arch.Addr) int) int {
+		m := machine.New(cfg)
+		a := m.AllocSyncAt(9, policy) // remote home for nodes 0-2
+		if setup != nil {
+			setup(m, a)
+		}
+		return measure(m, a)
+	}
+	storeFrom := func(node int) func(m *machine.Machine, a arch.Addr) int {
+		return func(m *machine.Machine, a arch.Addr) int {
+			chain := -1
+			progs := make([]func(*machine.Proc), m.Procs())
+			progs[node] = func(p *machine.Proc) {
+				chain = p.Do(core.Request{Op: core.OpStore, Addr: a, Val: 1}).Chain
+			}
+			m.RunEach(progs)
+			return chain
+		}
+	}
+	runOn := func(m *machine.Machine, node int, f func(p *machine.Proc)) {
+		progs := make([]func(*machine.Proc), m.Procs())
+		progs[node] = f
+		m.RunEach(progs)
+	}
+
+	return []Table1Row{
+		{"UNC", 2, run(core.PolicyUNC, nil, storeFrom(0))},
+		{"INV to cached exclusive", 0, run(core.PolicyINV,
+			func(m *machine.Machine, a arch.Addr) {
+				runOn(m, 0, func(p *machine.Proc) { p.Store(a, 7) })
+			}, storeFrom(0))},
+		{"INV to remote exclusive", 4, run(core.PolicyINV,
+			func(m *machine.Machine, a arch.Addr) {
+				runOn(m, 1, func(p *machine.Proc) { p.Store(a, 7) })
+			}, storeFrom(0))},
+		{"INV to remote shared", 3, run(core.PolicyINV,
+			func(m *machine.Machine, a arch.Addr) {
+				runOn(m, 1, func(p *machine.Proc) { p.Load(a) })
+				runOn(m, 2, func(p *machine.Proc) { p.Load(a) })
+			}, storeFrom(0))},
+		{"INV to uncached", 2, run(core.PolicyINV, nil, storeFrom(0))},
+		{"UPD to cached", 3, run(core.PolicyUPD,
+			func(m *machine.Machine, a arch.Addr) {
+				runOn(m, 1, func(p *machine.Proc) { p.Load(a) })
+			}, storeFrom(0))},
+		{"UPD to uncached", 2, run(core.PolicyUPD, nil, storeFrom(0))},
+	}
+}
+
+// WriteTable1 renders Table 1 with paper-vs-measured columns.
+func WriteTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: serialized network messages for stores to shared memory")
+	fmt.Fprintf(w, "%-28s %6s %9s\n", "case", "paper", "measured")
+	for _, r := range Table1() {
+		mark := ""
+		if r.Got != r.Paper {
+			mark = "  MISMATCH"
+		}
+		fmt.Fprintf(w, "%-28s %6d %9d%s\n", r.Case, r.Paper, r.Got, mark)
+	}
+}
+
+// ---------------------------------------------------------- figures 3-5 --
+
+// SyntheticFigure runs one of figures 3-5: every bar under every sharing
+// pattern, returning average cycles per counter update indexed as
+// [pattern][bar].
+func SyntheticFigure(app func(*machine.Machine, core.Policy, locks.Options, apps.Pattern) apps.SyntheticResult, o RunOpts) ([][]float64, []Bar, []Pattern) {
+	bars := SyntheticBars()
+	pats := Patterns(o)
+	grid := make([][]float64, len(pats))
+	for pi, pat := range pats {
+		grid[pi] = make([]float64, len(bars))
+		for bi, bar := range bars {
+			m := NewMachine(o, bar)
+			res := app(m, bar.Policy, bar.Opts(), pat)
+			grid[pi][bi] = res.AvgCycles
+		}
+	}
+	return grid, bars, pats
+}
+
+// WriteSyntheticFigure renders one of figures 3-5 as a bar-label by
+// pattern matrix of average cycles per update.
+func WriteSyntheticFigure(w io.Writer, title string, app func(*machine.Machine, core.Policy, locks.Options, apps.Pattern) apps.SyntheticResult, o RunOpts) {
+	grid, bars, pats := SyntheticFigure(app, o)
+	fmt.Fprintf(w, "%s (p=%d, avg cycles per counter update)\n", title, o.Procs)
+	fmt.Fprintf(w, "%-18s", "")
+	for _, pat := range pats {
+		fmt.Fprintf(w, "%10s", pat.String())
+	}
+	fmt.Fprintln(w)
+	for bi, bar := range bars {
+		fmt.Fprintf(w, "%-18s", bar.Label)
+		for pi := range pats {
+			fmt.Fprintf(w, "%10.1f", grid[pi][bi])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig3 runs figure 3 (lock-free counter).
+func Fig3(w io.Writer, o RunOpts) {
+	WriteSyntheticFigure(w, "Figure 3: lock-free counter", apps.CounterApp, o)
+}
+
+// Fig4 runs figure 4 (counter under test-and-test-and-set lock).
+func Fig4(w io.Writer, o RunOpts) {
+	WriteSyntheticFigure(w, "Figure 4: TTS-lock counter", apps.TTSApp, o)
+}
+
+// Fig5 runs figure 5 (counter under MCS lock).
+func Fig5(w io.Writer, o RunOpts) {
+	WriteSyntheticFigure(w, "Figure 5: MCS-lock counter", apps.MCSApp, o)
+}
+
+// ------------------------------------------------------- figures 2 & 6 ---
+
+// RealApp identifies one of the paper's real applications.
+type RealApp uint8
+
+const (
+	AppLocusRoute RealApp = iota
+	AppCholesky
+	AppTClosure
+)
+
+// String returns the application name.
+func (a RealApp) String() string {
+	switch a {
+	case AppLocusRoute:
+		return "LocusRoute"
+	case AppCholesky:
+		return "Cholesky"
+	case AppTClosure:
+		return "TransitiveClosure"
+	}
+	return "App?"
+}
+
+// RealApps lists the figure 2/6 applications in paper order.
+func RealApps() []RealApp { return []RealApp{AppLocusRoute, AppCholesky, AppTClosure} }
+
+// RunReal executes one real application under one bar configuration and
+// returns the machine (for its statistics) and the total elapsed cycles.
+// LocusRoute and Cholesky use lock-based synchronization (the paper
+// replaced the SPLASH library locks with TTS locks built on the primitive
+// under study); Transitive Closure uses the lock-free counter.
+func RunReal(app RealApp, o RunOpts, bar Bar) (*machine.Machine, uint64) {
+	m := NewMachine(o, bar)
+	switch app {
+	case AppLocusRoute:
+		cfg := apps.DefaultLocusRoute(o.Procs)
+		if o.Wires > 0 {
+			cfg.Wires = o.Wires
+		}
+		cfg.Policy = bar.Policy
+		cfg.Opts = bar.Opts()
+		res := apps.LocusRoute(m, cfg)
+		return m, uint64(res.Elapsed)
+	case AppCholesky:
+		cfg := apps.DefaultCholesky(o.Procs)
+		if o.Columns > 0 {
+			cfg.Columns = o.Columns
+		}
+		cfg.Policy = bar.Policy
+		cfg.Opts = bar.Opts()
+		res := apps.Cholesky(m, cfg)
+		return m, uint64(res.Elapsed)
+	case AppTClosure:
+		cfg := apps.TClosureConfig{
+			Size:   o.TCSize,
+			Policy: bar.Policy,
+			Opts:   bar.Opts(),
+			Seed:   11,
+		}
+		res := apps.TClosure(m, cfg)
+		return m, uint64(res.Elapsed)
+	}
+	panic("figures: unknown app")
+}
+
+// Fig2 renders the contention histograms and write-run measurements of the
+// real applications under the three coherence policies (figure 2 plus the
+// write-run numbers of section 4.2). The primitive is FAP, as in the
+// paper's baseline runs.
+func Fig2(w io.Writer, o RunOpts) {
+	fmt.Fprintf(w, "Figure 2: contention histograms (p=%d; %% of accesses at each level)\n", o.Procs)
+	levels := []int{1, 2, 3, 4, 8, 16, 32, 48, 64}
+	for _, app := range RealApps() {
+		for _, pol := range []core.Policy{core.PolicyINV, core.PolicyUNC, core.PolicyUPD} {
+			bar := Bar{Policy: pol, Prim: locks.PrimFAP}
+			m, _ := RunReal(app, o, bar)
+			hist := m.System().Contention().Histogram()
+			wr := m.System().WriteRuns()
+			wr.Flush()
+			fmt.Fprintf(w, "%-18s %-3s  write-run %.2f  |", app, pol, wr.Mean())
+			for _, lv := range levels {
+				// Bucket: sum counts in (prev, lv].
+				fmt.Fprintf(w, " %2d:%5.1f%%", lv, bucketPercent(hist, levels, lv))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// bucketPercent sums the histogram percentage over (prevLevel, level].
+func bucketPercent(h *stats.Histogram, levels []int, level int) float64 {
+	prev := 0
+	for _, lv := range levels {
+		if lv == level {
+			break
+		}
+		prev = lv
+	}
+	sum := 0.0
+	for v := prev + 1; v <= level; v++ {
+		sum += h.Percent(v)
+	}
+	return sum
+}
+
+// TCEfficiency measures Transitive Closure's parallel efficiency at the
+// given scale: T(1) / (p * T(p)), the metric behind the paper's "achieves
+// an acceptable efficiency of 45% on 64 processors".
+func TCEfficiency(o RunOpts, bar Bar) float64 {
+	single := o
+	single.Procs = 1
+	_, t1 := RunReal(AppTClosure, single, bar)
+	_, tp := RunReal(AppTClosure, o, bar)
+	return float64(t1) / (float64(o.Procs) * float64(tp))
+}
+
+// Fig6 renders the total elapsed time of the real applications under every
+// bar configuration.
+func Fig6(w io.Writer, o RunOpts) {
+	bars := SyntheticBars()
+	fmt.Fprintf(w, "Figure 6: total elapsed cycles, real applications (p=%d)\n", o.Procs)
+	fmt.Fprintf(w, "%-18s", "")
+	for _, app := range RealApps() {
+		fmt.Fprintf(w, "%14s", app.String())
+	}
+	fmt.Fprintln(w)
+	for _, bar := range bars {
+		fmt.Fprintf(w, "%-18s", bar.Label)
+		for _, app := range RealApps() {
+			_, elapsed := RunReal(app, o, bar)
+			fmt.Fprintf(w, "%14d", elapsed)
+		}
+		fmt.Fprintln(w)
+	}
+}

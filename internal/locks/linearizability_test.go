@@ -1,0 +1,94 @@
+package locks
+
+import (
+	"testing"
+
+	"dsm/internal/check"
+	"dsm/internal/core"
+	"dsm/internal/machine"
+	"dsm/internal/sim"
+)
+
+// TestCounterLinearizable records full timed histories of concurrent
+// increments and reads through every primitive family and coherence
+// policy, and verifies linearizability with the exact counter checker.
+func TestCounterLinearizable(t *testing.T) {
+	for _, prim := range []Prim{PrimFAP, PrimCAS, PrimLLSC} {
+		for _, pol := range allPolicies() {
+			prim, pol := prim, pol
+			t.Run(prim.String()+"/"+pol.String(), func(t *testing.T) {
+				const procs, iters = 8, 8
+				m := newM(procs)
+				c := NewCounter(m, pol, Options{Prim: prim})
+				var h check.History
+				m.Run(func(p *machine.Proc) {
+					for i := 0; i < iters; i++ {
+						invoke := p.Now()
+						old := c.Inc(p)
+						h.Record(check.Op{
+							Proc: p.ID(), Invoke: invoke, Respond: p.Now(),
+							Kind: check.Inc, Value: old,
+						})
+						if i%3 == 0 {
+							invoke = p.Now()
+							v := c.Read(p)
+							h.Record(check.Op{
+								Proc: p.ID(), Invoke: invoke, Respond: p.Now(),
+								Kind: check.Read, Value: v,
+							})
+						}
+						p.Compute(sim.Time(p.Rand().Intn(60)))
+					}
+				})
+				if h.Len() == 0 {
+					t.Fatal("empty history")
+				}
+				if err := h.CheckCounter(); err != nil {
+					t.Fatalf("%s/%s not linearizable: %v", prim, pol, err)
+				}
+			})
+		}
+	}
+}
+
+// TestCounterLinearizableWithAuxiliaries repeats the check with
+// load_exclusive and drop_copy in play, which exercise the protocol's
+// racier corners (write-backs crossing recalls).
+func TestCounterLinearizableWithAuxiliaries(t *testing.T) {
+	cases := []Options{
+		{Prim: PrimCAS, UseLoadExclusive: true},
+		{Prim: PrimFAP, Drop: true},
+		{Prim: PrimCAS, UseLoadExclusive: true, Drop: true},
+		{Prim: PrimLLSC, Drop: true},
+	}
+	for _, opts := range cases {
+		opts := opts
+		name := opts.Prim.String()
+		if opts.UseLoadExclusive {
+			name += "+ldex"
+		}
+		if opts.Drop {
+			name += "+drop"
+		}
+		t.Run(name, func(t *testing.T) {
+			const procs, iters = 8, 8
+			m := newM(procs)
+			c := NewCounter(m, core.PolicyINV, opts)
+			var h check.History
+			m.Run(func(p *machine.Proc) {
+				for i := 0; i < iters; i++ {
+					invoke := p.Now()
+					old := c.Inc(p)
+					h.Record(check.Op{
+						Proc: p.ID(), Invoke: invoke, Respond: p.Now(),
+						Kind: check.Inc, Value: old,
+					})
+				}
+			})
+			if err := h.CheckCounter(); err != nil {
+				t.Fatalf("not linearizable: %v", err)
+			}
+			m.System().CheckCoherence()
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package locks
+
+import (
+	"dsm/internal/arch"
+	"dsm/internal/core"
+	"dsm/internal/machine"
+	"dsm/internal/mesh"
+	"dsm/internal/sim"
+)
+
+// PriorityLock is a priority-granting mutual-exclusion lock, one of the
+// synchronization styles the paper cites general-purpose primitives for
+// (section 1: "wait-free and lock-free objects, read-write locks, priority
+// locks"). Waiters publish a priority in a per-processor slot; the holder
+// releases by direct hand-off to the highest-priority waiter (so the lock
+// word never becomes free under contention and cannot be stolen by a
+// lower-priority latecomer), or by freeing the lock when no one waits.
+//
+// The only atomic operation required is test_and_set (expressible in all
+// three primitive families); publication slots and grant flags are
+// ordinary data, homed at their spinning processor.
+type PriorityLock struct {
+	lock  arch.Addr   // 0 free, 1 held
+	want  []arch.Addr // per processor: 0 = not waiting, else priority+1
+	grant []arch.Addr // per processor: hand-off flag, spun on locally
+	Opts  Options
+}
+
+// NewPriorityLock allocates the lock under the given policy for its lock
+// word; slots and grant flags are per-processor blocks.
+func NewPriorityLock(m *machine.Machine, policy core.Policy, opts Options) *PriorityLock {
+	l := &PriorityLock{
+		lock:  m.AllocSync(policy),
+		want:  make([]arch.Addr, m.Procs()),
+		grant: make([]arch.Addr, m.Procs()),
+		Opts:  opts,
+	}
+	for i := 0; i < m.Procs(); i++ {
+		l.want[i] = m.AllocSyncAt(mesh.NodeID(i), core.PolicyINV)
+		l.grant[i] = m.AllocSyncAt(mesh.NodeID(i), core.PolicyINV)
+	}
+	return l
+}
+
+// Acquire takes the lock, competing with the given priority (higher wins
+// at each hand-off).
+func (l *PriorityLock) Acquire(p *machine.Proc, priority arch.Word) {
+	i := p.ID()
+	p.Store(l.want[i], priority+1)
+	for {
+		// Hand-off from the previous holder?
+		if p.Load(l.grant[i]) != 0 {
+			p.Store(l.grant[i], 0)
+			p.Store(l.want[i], 0)
+			return
+		}
+		// Or the lock is simply free.
+		if p.Load(l.lock) == 0 && l.Opts.TestAndSet(p, l.lock) == 0 {
+			p.Store(l.want[i], 0)
+			return
+		}
+		p.Compute(sim.Time(8 + p.Rand().Intn(24)))
+	}
+}
+
+// Release passes the lock to the highest-priority waiter, or frees it.
+// Ties break toward the lowest processor id.
+func (l *PriorityLock) Release(p *machine.Proc) {
+	best, bestPrio := -1, arch.Word(0)
+	for i := range l.want {
+		if i == p.ID() {
+			continue
+		}
+		if w := p.Load(l.want[i]); w > bestPrio {
+			best, bestPrio = i, w
+		}
+	}
+	if best >= 0 {
+		// Direct hand-off: the lock word stays held, so no latecomer can
+		// steal it from the chosen waiter.
+		p.Store(l.grant[best], 1)
+		return
+	}
+	p.Store(l.lock, 0)
+}

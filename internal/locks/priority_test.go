@@ -1,0 +1,80 @@
+package locks
+
+import (
+	"testing"
+
+	"dsm/internal/arch"
+	"dsm/internal/core"
+	"dsm/internal/machine"
+	"dsm/internal/sim"
+)
+
+func TestPriorityLockMutualExclusion(t *testing.T) {
+	for _, prim := range []Prim{PrimFAP, PrimCAS, PrimLLSC} {
+		prim := prim
+		t.Run(prim.String(), func(t *testing.T) {
+			const procs, iters = 8, 5
+			m := newM(procs)
+			l := NewPriorityLock(m, core.PolicyINV, Options{Prim: prim})
+			shared := m.Alloc(4)
+			inCS := 0
+			m.Run(func(p *machine.Proc) {
+				for i := 0; i < iters; i++ {
+					l.Acquire(p, arch.Word(p.ID()%3))
+					inCS++
+					if inCS != 1 {
+						t.Errorf("%d holders in the critical section", inCS)
+					}
+					v := p.Load(shared)
+					p.Compute(15)
+					p.Store(shared, v+1)
+					inCS--
+					l.Release(p)
+					p.Compute(sim.Time(p.Rand().Intn(40)))
+				}
+			})
+			if got := m.Peek(shared); got != procs*iters {
+				t.Fatalf("counter = %d, want %d", got, procs*iters)
+			}
+			m.System().CheckCoherence()
+		})
+	}
+}
+
+func TestPriorityLockGrantsByPriority(t *testing.T) {
+	// Processor 0 holds the lock while processors 1..5 queue with
+	// priorities equal to their ids, all published before the release
+	// cascade begins. Hand-offs must then proceed in descending priority.
+	const procs, waiters = 8, 5
+	m := newM(procs)
+	l := NewPriorityLock(m, core.PolicyUNC, Options{Prim: PrimFAP})
+	ready := m.AllocSync(core.PolicyUNC)
+	var order []int
+	m.Run(func(p *machine.Proc) {
+		switch {
+		case p.ID() == 0:
+			l.Acquire(p, 0)
+			// Wait until all waiters have announced, then give their
+			// want-publications (the first store inside Acquire) ample
+			// time to land before starting the cascade.
+			for p.Load(ready) != waiters {
+				p.Compute(20)
+			}
+			p.Compute(2000)
+			l.Release(p)
+		case p.ID() >= 1 && p.ID() <= waiters:
+			p.FetchAdd(ready, 1)
+			l.Acquire(p, arch.Word(p.ID()))
+			order = append(order, p.ID())
+			l.Release(p)
+		}
+	})
+	if len(order) != waiters {
+		t.Fatalf("%d acquisitions, want %d", len(order), waiters)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] >= order[i-1] {
+			t.Fatalf("hand-off order %v not by descending priority", order)
+		}
+	}
+}

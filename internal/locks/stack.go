@@ -1,0 +1,110 @@
+package locks
+
+import (
+	"dsm/internal/arch"
+	"dsm/internal/core"
+	"dsm/internal/machine"
+)
+
+// Stack is a Treiber-style lock-free stack over statically allocated
+// nodes, built to demonstrate the paper's "pointer problem" (section 2.2):
+// a pop implemented with compare_and_swap can succeed incorrectly when the
+// top node was popped and re-pushed while the popper was preempted (the
+// ABA problem), because CAS "cannot detect if a shared location has been
+// written with the same value that has been read". The
+// load_linked/store_conditional pop is immune: any intervening write
+// invalidates the reservation.
+//
+// Node ids are 1-based; 0 is the empty stack. Each node's next link lives
+// in its own block.
+type Stack struct {
+	Top  arch.Addr
+	next []arch.Addr // per node id (index 0 unused)
+	Opts Options
+}
+
+// NewStack allocates a stack and nodes 1..capacity.
+func NewStack(m *machine.Machine, policy core.Policy, capacity int, opts Options) *Stack {
+	s := &Stack{
+		Top:  m.AllocSync(policy),
+		next: make([]arch.Addr, capacity+1),
+		Opts: opts,
+	}
+	for i := 1; i <= capacity; i++ {
+		s.next[i] = m.Alloc(arch.BlockBytes)
+	}
+	return s
+}
+
+// Push links node onto the stack.
+func (s *Stack) Push(p *machine.Proc, node arch.Word) {
+	switch s.Opts.Prim {
+	case PrimLLSC:
+		for {
+			old := p.LoadLinked(s.Top)
+			p.Store(s.next[node], old)
+			if p.StoreConditional(s.Top, node) {
+				return
+			}
+		}
+	default:
+		for {
+			old := p.Load(s.Top)
+			p.Store(s.next[node], old)
+			if p.CompareAndSwap(s.Top, old, node) {
+				return
+			}
+		}
+	}
+}
+
+// Pop unlinks and returns the top node (0 when empty). The interposed
+// function, if non-nil, runs between reading the top and attempting the
+// swing — the window in which the ABA problem strikes; tests and the
+// abaproblem example use it to stage an adversarial interleaving.
+func (s *Stack) Pop(p *machine.Proc, interpose func()) arch.Word {
+	switch s.Opts.Prim {
+	case PrimLLSC:
+		for {
+			old := p.LoadLinked(s.Top)
+			if old == 0 {
+				return 0
+			}
+			next := p.Load(s.next[old])
+			if interpose != nil {
+				interpose()
+			}
+			if p.StoreConditional(s.Top, next) {
+				return old
+			}
+		}
+	default:
+		// The CAS pop is intentionally the textbook ABA-prone version;
+		// see PopValue for why real systems need tags/serials.
+		for {
+			old := p.Load(s.Top)
+			if old == 0 {
+				return 0
+			}
+			next := p.Load(s.next[old])
+			if interpose != nil {
+				interpose()
+			}
+			if p.CompareAndSwap(s.Top, old, next) {
+				return old
+			}
+		}
+	}
+}
+
+// Drain pops until empty, returning the node ids in pop order.
+func (s *Stack) Drain(p *machine.Proc) []arch.Word {
+	var out []arch.Word
+	for {
+		n := s.Pop(p, nil)
+		if n == 0 {
+			return out
+		}
+		out = append(out, n)
+	}
+}

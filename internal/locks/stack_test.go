@@ -1,0 +1,201 @@
+package locks
+
+import (
+	"testing"
+
+	"dsm/internal/arch"
+	"dsm/internal/core"
+	"dsm/internal/machine"
+)
+
+func TestStackPushPopLIFO(t *testing.T) {
+	for _, prim := range []Prim{PrimCAS, PrimLLSC} {
+		prim := prim
+		t.Run(prim.String(), func(t *testing.T) {
+			m := newM(4)
+			s := NewStack(m, core.PolicyINV, 8, Options{Prim: prim})
+			m.RunEach([]func(*machine.Proc){
+				func(p *machine.Proc) {
+					for n := arch.Word(1); n <= 3; n++ {
+						s.Push(p, n)
+					}
+					got := s.Drain(p)
+					want := []arch.Word{3, 2, 1}
+					if len(got) != 3 {
+						t.Errorf("drained %v", got)
+						return
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("pop order %v, want %v", got, want)
+						}
+					}
+				},
+				nil, nil, nil,
+			})
+		})
+	}
+}
+
+func TestStackConcurrentPushersNoLoss(t *testing.T) {
+	for _, prim := range []Prim{PrimCAS, PrimLLSC} {
+		prim := prim
+		t.Run(prim.String(), func(t *testing.T) {
+			const procs, each = 4, 4
+			m := newM(procs)
+			s := NewStack(m, core.PolicyINV, procs*each, Options{Prim: prim})
+			m.Run(func(p *machine.Proc) {
+				for k := 0; k < each; k++ {
+					s.Push(p, arch.Word(p.ID()*each+k+1))
+				}
+			})
+			var got []arch.Word
+			m.RunEach([]func(*machine.Proc){
+				func(p *machine.Proc) { got = s.Drain(p) },
+				nil, nil, nil,
+			})
+			if len(got) != procs*each {
+				t.Fatalf("drained %d nodes, want %d", len(got), procs*each)
+			}
+			seen := map[arch.Word]bool{}
+			for _, n := range got {
+				if seen[n] {
+					t.Fatalf("node %d popped twice", n)
+				}
+				seen[n] = true
+			}
+		})
+	}
+}
+
+// TestStackABAProblem stages the paper's section-2.2 pointer problem: a
+// popper reads top=A and next(A)=B, is delayed, and meanwhile another
+// processor pops A and B and pushes A back. The CAS pop then succeeds —
+// installing B, a node the adversary now owns, corrupting the stack. The
+// identical interleaving with load_linked/store_conditional fails the SC
+// and retries correctly.
+func TestStackABAProblem(t *testing.T) {
+	stage := func(prim Prim) (popped arch.Word, topAfter arch.Word, stolen arch.Word) {
+		m := newM(4)
+		s := NewStack(m, core.PolicyINV, 4, Options{Prim: prim})
+		// Simulated-memory handshake flags between victim and adversary.
+		windowOpen := m.Alloc(4)
+		adversaryDone := m.Alloc(4)
+		var victim arch.Word
+		m.RunEach([]func(*machine.Proc){
+			func(p *machine.Proc) {
+				// Build stack: top -> A(1) -> B(2) -> C(3).
+				s.Push(p, 3)
+				s.Push(p, 2)
+				s.Push(p, 1)
+				victim = s.Pop(p, func() {
+					// Delayed after reading top=1, next=2: let the
+					// adversary run to completion before the swing.
+					p.Store(windowOpen, 1)
+					for p.Load(adversaryDone) == 0 {
+						p.Compute(50)
+					}
+				})
+			},
+			func(p *machine.Proc) {
+				for p.Load(windowOpen) == 0 {
+					p.Compute(50)
+				}
+				a := s.Pop(p, nil) // pops 1
+				_ = s.Pop(p, nil)  // pops 2 — adversary now owns node 2
+				s.Push(p, a)       // pushes 1 back: top=1 -> 3
+				p.Store(adversaryDone, 1)
+			},
+			nil, nil,
+		})
+		var top arch.Word
+		m.RunEach([]func(*machine.Proc){
+			func(p *machine.Proc) { top = p.Load(s.Top) },
+			nil, nil, nil,
+		})
+		return victim, top, 2
+	}
+
+	// CAS: the delayed pop's CAS(top, 1, 2) succeeds against the re-pushed
+	// node 1, installing node 2 — which the adversary privately owns. The
+	// stack is corrupt: node 3 is lost and node 2 is doubly owned.
+	popped, top, stolen := stage(PrimCAS)
+	if popped != 1 {
+		t.Fatalf("CAS pop returned %d, expected to (incorrectly) succeed with 1", popped)
+	}
+	if top != stolen {
+		t.Fatalf("CAS top after ABA = %d; expected the corrupted %d", top, stolen)
+	}
+
+	// LL/SC: the intervening writes cleared the reservation; the delayed
+	// SC fails, the pop retries on the fresh state and pops 1 correctly,
+	// leaving top = 3.
+	popped, top, _ = stage(PrimLLSC)
+	if popped != 1 {
+		t.Fatalf("LLSC pop returned %d, want 1", popped)
+	}
+	if top != 3 {
+		t.Fatalf("LLSC top after interleaving = %d, want 3 (no corruption)", top)
+	}
+}
+
+// TestRWLock exercises the reader-writer lock in all primitive families.
+func TestRWLockWritersExclusive(t *testing.T) {
+	for _, prim := range []Prim{PrimFAP, PrimCAS, PrimLLSC} {
+		prim := prim
+		t.Run(prim.String(), func(t *testing.T) {
+			const procs, iters = 8, 4
+			m := newM(procs)
+			l := NewRWLock(m, core.PolicyINV, Options{Prim: prim})
+			shared := m.Alloc(4)
+			readersIn, writersIn := 0, 0
+			m.Run(func(p *machine.Proc) {
+				for i := 0; i < iters; i++ {
+					if p.ID()%2 == 0 {
+						l.Lock(p)
+						writersIn++
+						if writersIn != 1 || readersIn != 0 {
+							t.Errorf("writer entered with %d writers, %d readers", writersIn, readersIn)
+						}
+						v := p.Load(shared)
+						p.Compute(15)
+						p.Store(shared, v+1)
+						writersIn--
+						l.Unlock(p)
+					} else {
+						l.RLock(p)
+						readersIn++
+						if writersIn != 0 {
+							t.Errorf("reader entered alongside a writer")
+						}
+						p.Load(shared)
+						p.Compute(10)
+						readersIn--
+						l.RUnlock(p)
+					}
+					p.Compute(20)
+				}
+			})
+			want := arch.Word(procs / 2 * iters)
+			if got := m.Peek(shared); got != want {
+				t.Fatalf("writer increments = %d, want %d", got, want)
+			}
+			m.System().CheckCoherence()
+		})
+	}
+}
+
+func TestRWLockReadersShareAccess(t *testing.T) {
+	// With only readers, all should overlap: total elapsed must be far
+	// below the serialized sum of critical sections.
+	m := newM(8)
+	l := NewRWLock(m, core.PolicyINV, Options{Prim: PrimFAP})
+	elapsed := m.Run(func(p *machine.Proc) {
+		l.RLock(p)
+		p.Compute(1000)
+		l.RUnlock(p)
+	})
+	if elapsed > 8*1000/2 {
+		t.Fatalf("readers serialized: %d cycles for 8 overlapping 1000-cycle sections", elapsed)
+	}
+}

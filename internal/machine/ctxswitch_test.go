@@ -1,0 +1,67 @@
+package machine
+
+import (
+	"testing"
+
+	"dsm/internal/core"
+)
+
+// TestContextSwitchSpuriousSCFailures models the paper's section 2.1: on
+// processors like the R4000, reservations are invalidated on context
+// switches, so store_conditionals fail spuriously — harmless for
+// lock-freedom "so long as we always try again".
+func TestContextSwitchSpuriousSCFailures(t *testing.T) {
+	m := newSmall()
+	m.SetContextSwitchQuantum(40) // aggressive switching
+	a := m.AllocSync(core.PolicyINV)
+	const iters = 25
+	m.Run(func(p *Proc) {
+		for i := 0; i < iters; i++ {
+			for {
+				v := p.LoadLinked(a)
+				if p.StoreConditional(a, v+1) {
+					break
+				}
+				// Spurious failure: retry, as correct code must.
+			}
+		}
+	})
+	if got := m.Peek(a); got != 4*iters {
+		t.Fatalf("counter = %d, want %d (increments lost)", got, 4*iters)
+	}
+	if m.System().Counters().SCFailLocal == 0 {
+		t.Fatal("aggressive context switching caused no spurious SC failures")
+	}
+}
+
+func TestContextSwitchDisabledByDefault(t *testing.T) {
+	m := newSmall()
+	a := m.AllocSync(core.PolicyINV)
+	m.RunEach([]func(*Proc){
+		func(p *Proc) {
+			v := p.LoadLinked(a)
+			p.Compute(500) // plenty of time for a quantum to fire, if armed
+			if !p.StoreConditional(a, v+1) {
+				t.Error("SC failed with context switching disabled")
+			}
+		},
+		nil, nil, nil,
+	})
+}
+
+func TestContextSwitchTicksStopAfterRun(t *testing.T) {
+	// The recurring ticks must not keep the post-run drain alive forever;
+	// reaching this assertion at all proves termination.
+	m := newSmall()
+	m.SetContextSwitchQuantum(10)
+	m.Run(func(p *Proc) { p.Compute(100) })
+	if m.Now() == 0 {
+		t.Fatal("no time elapsed")
+	}
+	// A second program still works (ticks re-arm).
+	a := m.AllocSync(core.PolicyINV)
+	m.Run(func(p *Proc) { p.FetchAdd(a, 1) })
+	if m.Peek(a) != 4 {
+		t.Fatalf("counter = %d", m.Peek(a))
+	}
+}

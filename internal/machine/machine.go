@@ -1,0 +1,267 @@
+// Package machine assembles the simulated multiprocessor and provides the
+// execution-driven front end that plays the role MINT plays in the paper:
+// application code runs as one goroutine per simulated processor and issues
+// timed memory references to the back end (internal/core) through a Proc
+// handle.
+//
+// Determinism: the simulation engine and at most one processor goroutine
+// are runnable at any instant. The engine resumes a processor and then
+// blocks until that processor submits its next action (a memory operation,
+// a compute delay, a barrier arrival, or termination). All back-end
+// activity happens in the engine's event loop, so a given program and
+// configuration always produce the same cycle-for-cycle execution.
+package machine
+
+import (
+	"fmt"
+
+	"dsm/internal/arch"
+	"dsm/internal/core"
+	"dsm/internal/mesh"
+	"dsm/internal/sim"
+)
+
+// Machine is one simulated DSM multiprocessor.
+type Machine struct {
+	cfg   core.Config
+	eng   *sim.Engine
+	net   *mesh.Mesh
+	sys   *core.System
+	procs []*Proc
+
+	allocNext arch.Addr
+	seed      uint64
+
+	barrier barrierState
+	running int // processors still executing the current program
+
+	// ctxQuantum, when non-zero, models multiprogramming context switches
+	// as on the MIPS R4000 (paper section 2.1): every quantum, each
+	// processor's LL reservation bit is cleared, so a store_conditional
+	// across a switch fails spuriously. Lock-free code must retry.
+	ctxQuantum sim.Time
+}
+
+// barrierState implements the constant-time barrier MINT provides to the
+// synthetic applications: it enforces the intended sharing pattern without
+// perturbing the measurements (all waiters resume one cycle after the last
+// arrival).
+type barrierState struct {
+	waiting []*Proc
+	arrived int
+}
+
+// New builds a machine. The mesh geometry must accommodate cfg.Nodes.
+func New(cfg core.Config) *Machine {
+	eng := sim.NewEngine()
+	net := mesh.New(eng, cfg.Mesh)
+	m := &Machine{
+		cfg:       cfg,
+		eng:       eng,
+		net:       net,
+		sys:       core.NewSystem(eng, net, cfg),
+		allocNext: 0x1000,
+		seed:      0x5eed,
+	}
+	m.procs = make([]*Proc, cfg.Nodes)
+	for i := range m.procs {
+		m.procs[i] = newProc(m, mesh.NodeID(i))
+	}
+	return m
+}
+
+// Default returns a machine with the paper's 64-node configuration.
+func Default() *Machine { return New(core.DefaultConfig()) }
+
+// Procs returns the number of simulated processors.
+func (m *Machine) Procs() int { return m.cfg.Nodes }
+
+// System exposes the protocol layer (stats, policies, invariant checks).
+func (m *Machine) System() *core.System { return m.sys }
+
+// Mesh exposes the interconnect (traffic statistics).
+func (m *Machine) Mesh() *mesh.Mesh { return m.net }
+
+// Engine exposes the simulation engine (current time).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Now returns the current simulated time in cycles.
+func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
+// ProcStats returns processor i's accumulated activity counters.
+func (m *Machine) ProcStats(i int) ProcStats { return m.procs[i].stats }
+
+// SetSeed sets the seed from which per-processor random streams derive.
+// Call before Run.
+func (m *Machine) SetSeed(s uint64) { m.seed = s }
+
+// SetContextSwitchQuantum enables periodic spurious invalidation of each
+// processor's LL reservation, modeling context switches on processors like
+// the MIPS R4000 whose LLbit is cleared on a switch (paper section 2.1).
+// Zero disables. Call before Run.
+func (m *Machine) SetContextSwitchQuantum(q sim.Time) { m.ctxQuantum = q }
+
+// scheduleContextSwitches arms the per-processor reservation-clearing
+// ticks for the current program; they stop when the program ends (so the
+// post-run drain terminates).
+func (m *Machine) scheduleContextSwitches() {
+	if m.ctxQuantum == 0 {
+		return
+	}
+	for i := range m.procs {
+		node := m.procs[i].node
+		// Stagger switches across processors, as independent schedulers
+		// would.
+		first := m.ctxQuantum + sim.Time(i)*7%m.ctxQuantum
+		var tick func()
+		tick = func() {
+			if m.running == 0 {
+				return
+			}
+			m.sys.Cache(node).CacheArray().ClearReservation()
+			m.eng.After(m.ctxQuantum, tick)
+		}
+		m.eng.After(first, tick)
+	}
+}
+
+// ------------------------------------------------------------ memory ----
+
+// Alloc reserves size bytes of zeroed shared memory starting at a block
+// boundary and returns the base address. Consecutive blocks interleave
+// across home nodes, as on the simulated hardware.
+func (m *Machine) Alloc(size uint32) arch.Addr {
+	if size == 0 {
+		panic("machine: zero-size allocation")
+	}
+	base := m.allocNext
+	blocks := (arch.Addr(size) + arch.BlockBytes - 1) / arch.BlockBytes
+	m.allocNext += blocks * arch.BlockBytes
+	return base
+}
+
+// AllocSync reserves one word in its own block under the given coherence
+// policy and returns its address. Each call advances to a fresh block, so
+// distinct synchronization variables never exhibit false sharing.
+func (m *Machine) AllocSync(p core.Policy) arch.Addr {
+	a := m.Alloc(arch.BlockBytes)
+	m.sys.SetPolicy(a, p)
+	return a
+}
+
+// AllocSyncAt is AllocSync with the block homed at a specific node.
+func (m *Machine) AllocSyncAt(home mesh.NodeID, p core.Policy) arch.Addr {
+	for mesh.NodeID(int(arch.BlockNumber(m.allocNext))%m.cfg.Nodes) != home {
+		m.allocNext += arch.BlockBytes
+	}
+	return m.AllocSync(p)
+}
+
+// Poke writes a word directly into memory, bypassing the simulation (for
+// initializing inputs). It must not be used while data is cached dirty.
+func (m *Machine) Poke(a arch.Addr, v arch.Word) {
+	m.sys.Home(m.sys.HomeOf(a)).Memory().WriteWord(a, v)
+}
+
+// Peek returns the current coherent value of a word without simulation
+// cost: the owner's cached copy if the block is dirty, memory otherwise.
+func (m *Machine) Peek(a arch.Addr) arch.Word {
+	h := m.sys.Home(m.sys.HomeOf(a))
+	if e := h.Directory().Peek(a); e != nil && e.State.String() == "exclusive" {
+		if l := m.sys.Cache(e.Owner).CacheArray().Peek(a); l != nil {
+			return l.Word(a)
+		}
+	}
+	return h.Memory().ReadWord(a)
+}
+
+// --------------------------------------------------------------- run ----
+
+// Run executes program once per processor (each sees its own Proc) and
+// returns the elapsed simulated time from start to the completion of the
+// last processor. It may be called repeatedly; time accumulates.
+func (m *Machine) Run(program func(p *Proc)) sim.Time {
+	progs := make([]func(p *Proc), m.Procs())
+	for i := range progs {
+		progs[i] = program
+	}
+	return m.RunEach(progs)
+}
+
+// RunEach executes programs[i] on processor i (nil entries idle). It
+// returns the elapsed simulated time.
+func (m *Machine) RunEach(programs []func(p *Proc)) sim.Time {
+	if len(programs) != m.Procs() {
+		panic(fmt.Sprintf("machine: %d programs for %d processors", len(programs), m.Procs()))
+	}
+	start := m.eng.Now()
+	m.running = 0
+	for i, prog := range programs {
+		if prog == nil {
+			continue
+		}
+		m.running++
+		p := m.procs[i]
+		p.begin(prog, m.seed)
+	}
+	if m.running == 0 {
+		return 0
+	}
+	m.scheduleContextSwitches()
+	for i, prog := range programs {
+		if prog == nil {
+			continue
+		}
+		p := m.procs[i]
+		m.eng.At(start, func() { p.step(core.Result{}) })
+	}
+	for m.running > 0 {
+		if !m.eng.Step() {
+			panic(fmt.Sprintf("machine: deadlock with %d processors unfinished", m.running))
+		}
+	}
+	elapsed := m.eng.Now() - start
+	// Drain in-flight fire-and-forget traffic (write-backs, drop hints) so
+	// Peek and the coherence invariants see a quiescent machine. This does
+	// not affect the reported elapsed time.
+	for m.eng.Step() {
+	}
+	return elapsed
+}
+
+// arriveBarrier records a processor at the constant-time barrier; when all
+// running processors have arrived, all resume one cycle later.
+func (m *Machine) arriveBarrier(p *Proc) {
+	b := &m.barrier
+	b.waiting = append(b.waiting, p)
+	b.arrived++
+	if b.arrived < m.running {
+		return
+	}
+	waiters := b.waiting
+	b.waiting = nil
+	b.arrived = 0
+	m.eng.After(1, func() {
+		for _, w := range waiters {
+			w.step(core.Result{})
+		}
+	})
+}
+
+// procDone records a processor finishing its program.
+func (m *Machine) procDone() {
+	m.running--
+	// A barrier can complete when the last non-finished processor is
+	// already waiting and a peer exits (programs should not mix exits
+	// with barriers, but do not deadlock if they do).
+	if m.running > 0 && m.barrier.arrived >= m.running && m.barrier.arrived > 0 {
+		waiters := m.barrier.waiting
+		m.barrier.waiting = nil
+		m.barrier.arrived = 0
+		m.eng.After(1, func() {
+			for _, w := range waiters {
+				w.step(core.Result{})
+			}
+		})
+	}
+}

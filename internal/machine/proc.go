@@ -1,0 +1,215 @@
+package machine
+
+import (
+	"dsm/internal/arch"
+	"dsm/internal/core"
+	"dsm/internal/mesh"
+	"dsm/internal/sim"
+)
+
+// actionKind classifies what a processor goroutine asks of the engine.
+type actionKind uint8
+
+const (
+	actIssue actionKind = iota
+	actCompute
+	actBarrier
+	actDone
+)
+
+type action struct {
+	kind   actionKind
+	req    core.Request
+	cycles sim.Time
+}
+
+// ProcStats aggregates one processor's activity over its programs.
+type ProcStats struct {
+	Ops           uint64   // memory operations issued
+	MemoryCycles  sim.Time // cycles stalled on memory operations
+	ComputeCycles sim.Time // cycles spent in Compute
+	BarrierCycles sim.Time // cycles waiting at the MINT barrier
+	Barriers      uint64   // barrier episodes joined
+}
+
+// Proc is a simulated processor as seen by application code. All methods
+// except ID must be called from the program function executing on this
+// processor; each memory operation suspends the program for its simulated
+// duration.
+type Proc struct {
+	m    *Machine
+	node mesh.NodeID
+
+	resume chan core.Result
+	action chan action
+	rng    *sim.RNG
+
+	lastSerial arch.Word // serial returned by the most recent load_linked
+	stats      ProcStats
+}
+
+func newProc(m *Machine, n mesh.NodeID) *Proc {
+	return &Proc{m: m, node: n}
+}
+
+// begin prepares the processor for a program and starts its goroutine. The
+// goroutine waits for the engine's first resume before touching anything.
+func (p *Proc) begin(prog func(*Proc), seed uint64) {
+	p.resume = make(chan core.Result)
+	p.action = make(chan action)
+	p.rng = sim.NewRNG(seed).Fork(uint64(p.node))
+	p.lastSerial = 0
+	go func() {
+		<-p.resume
+		prog(p)
+		p.action <- action{kind: actDone}
+	}()
+}
+
+// step transfers control to the processor goroutine, waits for its next
+// action, and dispatches it. It runs on the engine goroutine, inside an
+// event; exactly one goroutine is runnable at any instant.
+func (p *Proc) step(r core.Result) {
+	p.resume <- r
+	act := <-p.action
+	switch act.kind {
+	case actIssue:
+		req := act.req
+		req.Done = func(res core.Result) { p.step(res) }
+		p.m.sys.Cache(p.node).Issue(req)
+	case actCompute:
+		p.m.eng.After(act.cycles, func() { p.step(core.Result{}) })
+	case actBarrier:
+		p.m.arriveBarrier(p)
+	case actDone:
+		p.m.procDone()
+	}
+}
+
+// do issues one memory operation and blocks (in simulated time) until it
+// completes.
+func (p *Proc) do(req core.Request) core.Result {
+	start := p.m.eng.Now()
+	p.action <- action{kind: actIssue, req: req}
+	r := <-p.resume
+	p.stats.Ops++
+	p.stats.MemoryCycles += p.m.eng.Now() - start
+	return r
+}
+
+// Stats returns the processor's accumulated activity counters.
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// ID returns the processor number.
+func (p *Proc) ID() int { return int(p.node) }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() sim.Time { return p.m.eng.Now() }
+
+// Rand returns this processor's private deterministic random stream (used
+// for backoff jitter and workload generation).
+func (p *Proc) Rand() *sim.RNG { return p.rng }
+
+// Compute consumes n cycles of local computation.
+func (p *Proc) Compute(n sim.Time) {
+	if n == 0 {
+		return
+	}
+	p.stats.ComputeCycles += n
+	p.action <- action{kind: actCompute, cycles: n}
+	<-p.resume
+}
+
+// Barrier joins the MINT-style constant-time barrier across all processors
+// running the current program. It enforces sharing patterns in the
+// synthetic applications without perturbing timing (resumes one cycle
+// after the last arrival).
+func (p *Proc) Barrier() {
+	start := p.m.eng.Now()
+	p.action <- action{kind: actBarrier}
+	<-p.resume
+	p.stats.Barriers++
+	p.stats.BarrierCycles += p.m.eng.Now() - start
+}
+
+// Do issues a raw request (escape hatch exposing the full Result,
+// including the serialized-message chain of Table 1).
+func (p *Proc) Do(req core.Request) core.Result { return p.do(req) }
+
+// Load performs an ordinary load.
+func (p *Proc) Load(a arch.Addr) arch.Word {
+	return p.do(core.Request{Op: core.OpLoad, Addr: a}).Value
+}
+
+// Store performs an ordinary store.
+func (p *Proc) Store(a arch.Addr, v arch.Word) {
+	p.do(core.Request{Op: core.OpStore, Addr: a, Val: v})
+}
+
+// LoadExclusive reads a word while acquiring exclusive access to its block
+// (the paper's auxiliary instruction; under INV it makes an immediately
+// following compare_and_swap a local hit).
+func (p *Proc) LoadExclusive(a arch.Addr) arch.Word {
+	return p.do(core.Request{Op: core.OpLoadExclusive, Addr: a}).Value
+}
+
+// DropCopy self-invalidates the block containing a (writing back dirty
+// data), reducing the serialized messages of a subsequent access by
+// another processor.
+func (p *Proc) DropCopy(a arch.Addr) {
+	p.do(core.Request{Op: core.OpDropCopy, Addr: a})
+}
+
+// FetchAdd atomically adds delta and returns the previous value.
+func (p *Proc) FetchAdd(a arch.Addr, delta arch.Word) arch.Word {
+	return p.do(core.Request{Op: core.OpFetchAdd, Addr: a, Val: delta}).Value
+}
+
+// FetchStore atomically swaps in v and returns the previous value.
+func (p *Proc) FetchStore(a arch.Addr, v arch.Word) arch.Word {
+	return p.do(core.Request{Op: core.OpFetchStore, Addr: a, Val: v}).Value
+}
+
+// FetchOr atomically ors in v and returns the previous value.
+func (p *Proc) FetchOr(a arch.Addr, v arch.Word) arch.Word {
+	return p.do(core.Request{Op: core.OpFetchOr, Addr: a, Val: v}).Value
+}
+
+// TestAndSet atomically sets the word to 1 and returns the previous value.
+func (p *Proc) TestAndSet(a arch.Addr) arch.Word {
+	return p.do(core.Request{Op: core.OpTestAndSet, Addr: a}).Value
+}
+
+// CompareAndSwap installs new if the word equals expect, reporting success.
+func (p *Proc) CompareAndSwap(a arch.Addr, expect, new arch.Word) bool {
+	return p.do(core.Request{Op: core.OpCAS, Addr: a, Val: expect, Val2: new}).OK
+}
+
+// LoadLinked reads a word and sets a reservation. Under the serial-number
+// scheme the returned serial is remembered for the next StoreConditional.
+func (p *Proc) LoadLinked(a arch.Addr) arch.Word {
+	r := p.do(core.Request{Op: core.OpLL, Addr: a})
+	p.lastSerial = r.Serial
+	return r.Value
+}
+
+// LoadLinkedFull exposes the serial number and the beyond-limit hint.
+func (p *Proc) LoadLinkedFull(a arch.Addr) core.Result {
+	r := p.do(core.Request{Op: core.OpLL, Addr: a})
+	p.lastSerial = r.Serial
+	return r
+}
+
+// StoreConditional writes v if the reservation from the most recent
+// LoadLinked still holds, reporting success.
+func (p *Proc) StoreConditional(a arch.Addr, v arch.Word) bool {
+	return p.do(core.Request{Op: core.OpSC, Addr: a, Val: v, Val2: p.lastSerial}).OK
+}
+
+// StoreConditionalSerial is a bare store_conditional carrying an explicit
+// expected serial number (serial-number reservation scheme only). The
+// paper notes this saves a memory access in algorithms like the MCS lock
+// release.
+func (p *Proc) StoreConditionalSerial(a arch.Addr, v, serial arch.Word) bool {
+	return p.do(core.Request{Op: core.OpSC, Addr: a, Val: v, Val2: serial}).OK
+}

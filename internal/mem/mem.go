@@ -1,0 +1,103 @@
+// Package mem models the queued memory modules of the simulated machine.
+//
+// Each node owns one module holding that node's share of physical memory.
+// Requests are serviced in arrival order: a module can overlap the tail of
+// one access with the next (occupancy < latency models a pipelined DRAM
+// bank), so under load the effective service rate is one access per
+// occupancy period, while an isolated access completes after the full
+// latency. This is the "queued memory" of the paper's methodology and is
+// the source of memory contention in all experiments.
+package mem
+
+import (
+	"dsm/internal/arch"
+	"dsm/internal/sim"
+)
+
+// Config holds memory module timing parameters, in cycles.
+type Config struct {
+	Latency   sim.Time // arrival (at the module) to data available
+	Occupancy sim.Time // minimum spacing between successive service starts
+}
+
+// DefaultConfig models a moderately fast early-90s DRAM bank.
+func DefaultConfig() Config {
+	return Config{Latency: 18, Occupancy: 6}
+}
+
+// Stats aggregates module activity.
+type Stats struct {
+	Accesses  uint64 // serviced requests
+	QueueWait uint64 // total cycles requests waited to start service
+}
+
+// Module is one node's memory bank plus its physical storage. Storage is
+// block-granular and sparse; absent blocks read as zero, matching the
+// zero-initialized shared address space the applications expect.
+type Module struct {
+	eng   *sim.Engine
+	cfg   Config
+	busy  sim.Time // next service may start at this time
+	data  map[arch.Addr]*arch.BlockData
+	stats Stats
+}
+
+// New returns an empty module with the given timing.
+func New(eng *sim.Engine, cfg Config) *Module {
+	return &Module{eng: eng, cfg: cfg, data: make(map[arch.Addr]*arch.BlockData)}
+}
+
+// Stats returns a snapshot of the activity counters.
+func (m *Module) Stats() Stats { return m.stats }
+
+// ResetStats clears the activity counters.
+func (m *Module) ResetStats() { m.stats = Stats{} }
+
+// Access enqueues one memory access and schedules done when its data is
+// available. Queueing and bank occupancy are modeled; the callback performs
+// the actual storage read/update at completion time.
+func (m *Module) Access(done func()) {
+	now := m.eng.Now()
+	start := now
+	if m.busy > start {
+		m.stats.QueueWait += uint64(m.busy - start)
+		start = m.busy
+	}
+	m.busy = start + m.cfg.Occupancy
+	m.stats.Accesses++
+	m.eng.At(start+m.cfg.Latency, done)
+}
+
+// block returns the storage for the block containing a, allocating it on
+// first touch.
+func (m *Module) block(a arch.Addr) *arch.BlockData {
+	base := arch.BlockBase(a)
+	b := m.data[base]
+	if b == nil {
+		b = new(arch.BlockData)
+		m.data[base] = b
+	}
+	return b
+}
+
+// ReadBlock returns a copy of the block containing a.
+func (m *Module) ReadBlock(a arch.Addr) arch.BlockData {
+	return *m.block(a)
+}
+
+// WriteBlock replaces the block containing a.
+func (m *Module) WriteBlock(a arch.Addr, d arch.BlockData) {
+	*m.block(a) = d
+}
+
+// ReadWord returns the word at a (word-aligned).
+func (m *Module) ReadWord(a arch.Addr) arch.Word {
+	arch.CheckWordAligned(a)
+	return m.block(a)[arch.WordIndex(a)]
+}
+
+// WriteWord stores v at a (word-aligned).
+func (m *Module) WriteWord(a arch.Addr, v arch.Word) {
+	arch.CheckWordAligned(a)
+	m.block(a)[arch.WordIndex(a)] = v
+}

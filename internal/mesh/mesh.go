@@ -1,0 +1,222 @@
+// Package mesh models the interconnect of the simulated multiprocessor: a
+// two-dimensional wormhole-routed mesh with dimension-order routing.
+//
+// Following the paper's methodology, contention is modeled at the entry and
+// exit of the network (the injection and ejection ports of each node's
+// network interface) and at the memory modules, but not at internal routers:
+// in-flight transit time is a deterministic function of distance and message
+// length.
+package mesh
+
+import (
+	"fmt"
+
+	"dsm/internal/sim"
+)
+
+// NodeID identifies a processing node. Nodes are numbered row-major in the
+// mesh: node id = y*Width + x.
+type NodeID int
+
+// Config holds the network timing parameters, in cycles.
+type Config struct {
+	Width  int // mesh X dimension
+	Height int // mesh Y dimension
+
+	HopDelay   sim.Time // router/wire delay per hop for the head flit
+	FlitDelay  sim.Time // cycles per flit through a port (bandwidth)
+	FlitBytes  int      // flit width in bytes
+	LocalDelay sim.Time // delivery delay for same-node messages (bypass)
+
+	// ModelRouters additionally serializes messages on every internal
+	// link along the dimension-order route. The paper's methodology
+	// models contention only at the network entry and exit; this mode
+	// exists to test that simplification (see the router ablation
+	// benchmark).
+	ModelRouters bool
+}
+
+// DefaultConfig is an 8x8 mesh with timing loosely modeled on early-90s
+// wormhole networks (2 cycles/hop, 8-byte flits at 1 flit/cycle/port).
+func DefaultConfig() Config {
+	return Config{
+		Width:      8,
+		Height:     8,
+		HopDelay:   2,
+		FlitDelay:  1,
+		FlitBytes:  8,
+		LocalDelay: 1,
+	}
+}
+
+// Stats aggregates network traffic counters.
+type Stats struct {
+	Messages   uint64 // mesh messages sent (excludes same-node bypass)
+	LocalMsgs  uint64 // same-node deliveries
+	Flits      uint64 // total flits injected
+	HopsTotal  uint64 // sum of hop counts over messages
+	InjectWait uint64 // cycles messages waited for the injection port
+	EjectWait  uint64 // cycles messages waited for the ejection port
+	LinkWait   uint64 // cycles head flits waited for internal links (ModelRouters)
+}
+
+// Mesh is the interconnect instance. It serializes messages through each
+// node's injection and ejection port and delivers them by scheduling events
+// on the engine.
+type Mesh struct {
+	cfg    Config
+	eng    *sim.Engine
+	inject []sim.Time // per node: injection port free at
+	eject  []sim.Time // per node: ejection port free at
+	links  map[link]sim.Time
+	stats  Stats
+}
+
+// link is a directed channel between adjacent routers (ModelRouters mode).
+type link struct {
+	from NodeID
+	to   NodeID
+}
+
+// New creates a mesh over the given engine. It panics on a non-positive
+// geometry, which indicates a programming error in machine assembly.
+func New(eng *sim.Engine, cfg Config) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic(fmt.Sprintf("mesh: invalid geometry %dx%d", cfg.Width, cfg.Height))
+	}
+	n := cfg.Width * cfg.Height
+	return &Mesh{
+		cfg:    cfg,
+		eng:    eng,
+		inject: make([]sim.Time, n),
+		eject:  make([]sim.Time, n),
+		links:  make(map[link]sim.Time),
+	}
+}
+
+// Nodes returns the number of nodes in the mesh.
+func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// Stats returns a snapshot of the traffic counters.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// ResetStats clears the traffic counters (port reservations are kept).
+func (m *Mesh) ResetStats() { m.stats = Stats{} }
+
+// Coord returns the (x, y) position of a node.
+func (m *Mesh) Coord(n NodeID) (x, y int) {
+	return int(n) % m.cfg.Width, int(n) / m.cfg.Width
+}
+
+// Hops returns the dimension-order routing distance between two nodes.
+func (m *Mesh) Hops(a, b NodeID) int {
+	ax, ay := m.Coord(a)
+	bx, by := m.Coord(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// Flits returns the number of flits occupied by a message carrying
+// payload bytes plus an 8-byte header, rounded up to whole flits.
+func (m *Mesh) Flits(payloadBytes int) int {
+	const headerBytes = 8
+	total := headerBytes + payloadBytes
+	f := (total + m.cfg.FlitBytes - 1) / m.cfg.FlitBytes
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Send transmits a message of the given flit count from src to dst and
+// invokes deliver when the tail flit has been ejected at the destination.
+// Same-node messages bypass the network after LocalDelay. Send panics on an
+// out-of-range node id or non-positive flit count (programming errors).
+func (m *Mesh) Send(src, dst NodeID, flits int, deliver func()) {
+	if int(src) < 0 || int(src) >= m.Nodes() || int(dst) < 0 || int(dst) >= m.Nodes() {
+		panic(fmt.Sprintf("mesh: send %d->%d outside %d-node mesh", src, dst, m.Nodes()))
+	}
+	if flits <= 0 {
+		panic("mesh: non-positive flit count")
+	}
+	now := m.eng.Now()
+	if src == dst {
+		m.stats.LocalMsgs++
+		m.eng.At(now+m.cfg.LocalDelay, deliver)
+		return
+	}
+
+	hops := m.Hops(src, dst)
+	m.stats.Messages++
+	m.stats.Flits += uint64(flits)
+	m.stats.HopsTotal += uint64(hops)
+
+	// Injection port: the message occupies the port for flits*FlitDelay.
+	injStart := now
+	if m.inject[src] > injStart {
+		m.stats.InjectWait += uint64(m.inject[src] - injStart)
+		injStart = m.inject[src]
+	}
+	serialize := sim.Time(flits) * m.cfg.FlitDelay
+	m.inject[src] = injStart + serialize
+
+	// Wormhole transit: head flit pipeline through the routers.
+	var headArrive sim.Time
+	if m.cfg.ModelRouters {
+		headArrive = m.routeThrough(src, dst, injStart, serialize)
+	} else {
+		headArrive = injStart + sim.Time(hops)*m.cfg.HopDelay
+	}
+
+	// Ejection port: serialize the whole message out of the network.
+	ejStart := headArrive
+	if m.eject[dst] > ejStart {
+		m.stats.EjectWait += uint64(m.eject[dst] - ejStart)
+		ejStart = m.eject[dst]
+	}
+	done := ejStart + serialize
+	m.eject[dst] = done
+
+	m.eng.At(done, deliver)
+}
+
+// routeThrough walks the dimension-order route (X then Y), serializing the
+// message on each directed link; it returns the head flit's arrival time
+// at the destination router.
+func (m *Mesh) routeThrough(src, dst NodeID, depart, serialize sim.Time) sim.Time {
+	t := depart
+	cur := src
+	step := func(next NodeID) {
+		l := link{from: cur, to: next}
+		start := t
+		if m.links[l] > start {
+			m.stats.LinkWait += uint64(m.links[l] - start)
+			start = m.links[l]
+		}
+		t = start + m.cfg.HopDelay
+		m.links[l] = start + serialize
+		cur = next
+	}
+	sx, sy := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	for x := sx; x != dx; x += sign(dx - sx) {
+		step(NodeID(sy*m.cfg.Width + x + sign(dx-sx)))
+	}
+	for y := sy; y != dy; y += sign(dy - sy) {
+		step(NodeID((y+sign(dy-sy))*m.cfg.Width + dx))
+	}
+	return t
+}
+
+func sign(v int) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

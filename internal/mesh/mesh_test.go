@@ -1,0 +1,216 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsm/internal/sim"
+)
+
+func newTestMesh() (*sim.Engine, *Mesh) {
+	eng := sim.NewEngine()
+	return eng, New(eng, DefaultConfig())
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	_, m := newTestMesh()
+	for n := 0; n < m.Nodes(); n++ {
+		x, y := m.Coord(NodeID(n))
+		if y*8+x != n {
+			t.Fatalf("node %d maps to (%d,%d)", n, x, y)
+		}
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	_, m := newTestMesh()
+	cases := []struct {
+		a, b NodeID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 7, 7},
+		{0, 63, 14},
+		{9, 18, 2}, // (1,1)->(2,2)
+		{63, 0, 14},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d)=%d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	_, m := newTestMesh()
+	f := func(a, b uint8) bool {
+		x, y := NodeID(a%64), NodeID(b%64)
+		return m.Hops(x, y) == m.Hops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	_, m := newTestMesh()
+	f := func(a, b, c uint8) bool {
+		x, y, z := NodeID(a%64), NodeID(b%64), NodeID(c%64)
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlitsRounding(t *testing.T) {
+	_, m := newTestMesh()
+	cases := []struct{ payload, want int }{
+		{0, 1},  // header only
+		{1, 2},  // 9 bytes -> 2 flits
+		{8, 2},  // 16 bytes
+		{24, 4}, // header + 24 = 32
+		{32, 5}, // header + block
+	}
+	for _, c := range cases {
+		if got := m.Flits(c.payload); got != c.want {
+			t.Errorf("Flits(%d)=%d, want %d", c.payload, got, c.want)
+		}
+	}
+}
+
+func TestSendLocalBypass(t *testing.T) {
+	eng, m := newTestMesh()
+	var at sim.Time
+	m.Send(3, 3, 5, func() { at = eng.Now() })
+	eng.Run(0)
+	if at != DefaultConfig().LocalDelay {
+		t.Fatalf("local delivery at %d, want %d", at, DefaultConfig().LocalDelay)
+	}
+	if s := m.Stats(); s.Messages != 0 || s.LocalMsgs != 1 {
+		t.Fatalf("stats = %+v, want local only", s)
+	}
+}
+
+func TestSendUncontendedLatency(t *testing.T) {
+	eng, m := newTestMesh()
+	// 0 -> 1: 1 hop, 1 flit. inject start 0, head arrives at 2, done 3.
+	var at sim.Time
+	m.Send(0, 1, 1, func() { at = eng.Now() })
+	eng.Run(0)
+	want := sim.Time(1)*1 + 2 + 0 // serialize 1 + hop 2, ejStart=2, done=3
+	_ = want
+	if at != 3 {
+		t.Fatalf("delivery at %d, want 3", at)
+	}
+}
+
+func TestSendLatencyScalesWithDistance(t *testing.T) {
+	eng, m := newTestMesh()
+	var near, far sim.Time
+	m.Send(0, 1, 1, func() { near = eng.Now() })
+	m.Send(63, 56, 1, func() { far = eng.Now() }) // 7 hops, disjoint ports
+	eng.Run(0)
+	if far-near != 6*2 { // 6 extra hops * HopDelay 2
+		t.Fatalf("far-near = %d, want 12 (near=%d far=%d)", far-near, near, far)
+	}
+}
+
+func TestInjectionPortSerializes(t *testing.T) {
+	eng, m := newTestMesh()
+	var first, second sim.Time
+	// Two 5-flit messages from node 0 to distinct far nodes at t=0.
+	m.Send(0, 1, 5, func() { first = eng.Now() })
+	m.Send(0, 8, 5, func() { second = eng.Now() })
+	eng.Run(0)
+	// first: inj 0..5, head 0+2, done = 2+5 = 7
+	if first != 7 {
+		t.Fatalf("first delivered at %d, want 7", first)
+	}
+	// second: inj starts at 5, head 5+2, done 7+5 = 12
+	if second != 12 {
+		t.Fatalf("second delivered at %d, want 12", second)
+	}
+	if m.Stats().InjectWait != 5 {
+		t.Fatalf("InjectWait = %d, want 5", m.Stats().InjectWait)
+	}
+}
+
+func TestEjectionPortSerializes(t *testing.T) {
+	eng, m := newTestMesh()
+	var a, b sim.Time
+	// Two 5-flit messages to node 0 from equidistant sources.
+	m.Send(1, 0, 5, func() { a = eng.Now() })
+	m.Send(8, 0, 5, func() { b = eng.Now() })
+	eng.Run(0)
+	// a: head at 2, done 7. b: head at 2, must wait eject until 7, done 12.
+	if a != 7 || b != 12 {
+		t.Fatalf("deliveries at %d,%d; want 7,12", a, b)
+	}
+	if m.Stats().EjectWait != 5 {
+		t.Fatalf("EjectWait = %d, want 5", m.Stats().EjectWait)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	eng, m := newTestMesh()
+	m.Send(0, 63, 5, func() {})
+	m.Send(63, 0, 2, func() {})
+	eng.Run(0)
+	s := m.Stats()
+	if s.Messages != 2 || s.Flits != 7 || s.HopsTotal != 28 {
+		t.Fatalf("stats = %+v", s)
+	}
+	m.ResetStats()
+	if m.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestSendPanicsOnBadArgs(t *testing.T) {
+	_, m := newTestMesh()
+	for name, fn := range map[string]func(){
+		"bad src":   func() { m.Send(-1, 0, 1, nil) },
+		"bad dst":   func() { m.Send(0, 64, 1, nil) },
+		"bad flits": func() { m.Send(0, 1, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero-width mesh")
+		}
+	}()
+	New(sim.NewEngine(), Config{Width: 0, Height: 8})
+}
+
+func TestDeliveryOrderDeterministic(t *testing.T) {
+	run := func() []int {
+		eng, m := newTestMesh()
+		var order []int
+		for i := 0; i < 20; i++ {
+			i := i
+			src := NodeID(i % 8)
+			dst := NodeID(63 - i%8)
+			m.Send(src, dst, 1+i%5, func() { order = append(order, i) })
+		}
+		eng.Run(0)
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+}

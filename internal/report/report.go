@@ -1,0 +1,134 @@
+// Package report collects a machine's measurements into one structured
+// value and renders it as text or CSV: protocol counters, network traffic,
+// memory and cache activity, the contention histogram, write-run lengths,
+// and per-operation serialized-message chains. cmd/dsmsim prints it after
+// every run.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dsm/internal/cache"
+	"dsm/internal/core"
+	"dsm/internal/machine"
+	"dsm/internal/mem"
+	"dsm/internal/mesh"
+	"dsm/internal/stats"
+)
+
+// ChainSummary summarizes the serialized-message chains of one operation
+// class (e.g. "compare_and_swap/INV").
+type ChainSummary struct {
+	Class string
+	Count uint64
+	Mean  float64
+	Max   int
+}
+
+// Report is a snapshot of every measurement the machine exposes.
+type Report struct {
+	Procs int
+
+	Protocol core.Counters
+	Network  mesh.Stats
+	Memory   mem.Stats   // summed over modules
+	Cache    cache.Stats // summed over caches
+
+	Contention    *stats.Histogram
+	WriteRunMean  float64
+	WriteRunTotal uint64
+
+	// Processor activity, summed over processors.
+	ProcOps       uint64
+	MemoryCycles  uint64
+	ComputeCycles uint64
+	BarrierCycles uint64
+
+	Chains []ChainSummary // sorted by class
+}
+
+// Collect gathers a report. It flushes the write-run tracker, terminating
+// in-progress runs, so collect once at the end of a run.
+func Collect(m *machine.Machine) *Report {
+	sys := m.System()
+	r := &Report{
+		Procs:      m.Procs(),
+		Protocol:   sys.Counters(),
+		Network:    m.Mesh().Stats(),
+		Contention: sys.Contention().Histogram(),
+	}
+	for i := 0; i < m.Procs(); i++ {
+		ms := sys.Home(mesh.NodeID(i)).Memory().Stats()
+		r.Memory.Accesses += ms.Accesses
+		r.Memory.QueueWait += ms.QueueWait
+		cs := sys.Cache(mesh.NodeID(i)).CacheArray().Stats()
+		r.Cache.Evictions += cs.Evictions
+		r.Cache.DirtyEvictions += cs.DirtyEvictions
+		ps := m.ProcStats(i)
+		r.ProcOps += ps.Ops
+		r.MemoryCycles += uint64(ps.MemoryCycles)
+		r.ComputeCycles += uint64(ps.ComputeCycles)
+		r.BarrierCycles += uint64(ps.BarrierCycles)
+	}
+	wr := sys.WriteRuns()
+	wr.Flush()
+	r.WriteRunMean = wr.Mean()
+	r.WriteRunTotal = wr.Histogram().Total()
+
+	rec := sys.Chains()
+	classes := rec.Classes()
+	sort.Strings(classes)
+	for _, cl := range classes {
+		h := rec.Class(cl)
+		r.Chains = append(r.Chains, ChainSummary{
+			Class: cl, Count: h.Total(), Mean: h.Mean(), Max: h.Max(),
+		})
+	}
+	return r
+}
+
+// WriteText renders the report for humans.
+func (r *Report) WriteText(w io.Writer) {
+	p := r.Protocol
+	fmt.Fprintf(w, "processors: %d\n", r.Procs)
+	fmt.Fprintf(w, "protocol:   requests=%d local-hits=%d (%.1f%%) invals=%d updates=%d writebacks=%d\n",
+		p.Requests, p.LocalHits, pct(p.LocalHits, p.Requests), p.Invals, p.Updates, p.Writebacks)
+	fmt.Fprintf(w, "            naks=%d retries=%d sc-fail-local=%d\n",
+		p.Naks, p.Retries, p.SCFailLocal)
+	n := r.Network
+	fmt.Fprintf(w, "network:    messages=%d flits=%d local=%d inject-wait=%d eject-wait=%d\n",
+		n.Messages, n.Flits, n.LocalMsgs, n.InjectWait, n.EjectWait)
+	fmt.Fprintf(w, "memory:     accesses=%d queue-wait=%d\n", r.Memory.Accesses, r.Memory.QueueWait)
+	fmt.Fprintf(w, "caches:     evictions=%d dirty=%d\n", r.Cache.Evictions, r.Cache.DirtyEvictions)
+	fmt.Fprintf(w, "processors: ops=%d memory-cycles=%d compute-cycles=%d barrier-cycles=%d\n",
+		r.ProcOps, r.MemoryCycles, r.ComputeCycles, r.BarrierCycles)
+	if r.Contention.Total() > 0 {
+		fmt.Fprintf(w, "contention: %s (mean %.2f)\n", r.Contention, r.Contention.Mean())
+	}
+	if r.WriteRunTotal > 0 {
+		fmt.Fprintf(w, "write-runs: %d runs, mean length %.2f\n", r.WriteRunTotal, r.WriteRunMean)
+	}
+	if len(r.Chains) > 0 {
+		fmt.Fprintln(w, "serialized message chains per operation class:")
+		for _, c := range r.Chains {
+			fmt.Fprintf(w, "  %-28s count=%-8d mean=%.2f max=%d\n", c.Class, c.Count, c.Mean, c.Max)
+		}
+	}
+}
+
+// WriteCSV renders the chain summaries as CSV (class,count,mean,max).
+func (r *Report) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "class,count,mean,max")
+	for _, c := range r.Chains {
+		fmt.Fprintf(w, "%s,%d,%.3f,%d\n", c.Class, c.Count, c.Mean, c.Max)
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

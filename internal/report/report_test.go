@@ -1,0 +1,94 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsm/internal/core"
+	"dsm/internal/machine"
+)
+
+func runSmall() *machine.Machine {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Mesh.Width, cfg.Mesh.Height = 2, 2
+	m := machine.New(cfg)
+	a := m.AllocSync(core.PolicyINV)
+	m.Run(func(p *machine.Proc) {
+		for i := 0; i < 3; i++ {
+			p.FetchAdd(a, 1)
+		}
+	})
+	return m
+}
+
+func TestCollectGathersEverything(t *testing.T) {
+	m := runSmall()
+	r := Collect(m)
+	if r.Procs != 4 {
+		t.Fatalf("Procs = %d", r.Procs)
+	}
+	if r.Protocol.Requests == 0 {
+		t.Fatal("no protocol requests collected")
+	}
+	if r.Network.Messages == 0 {
+		t.Fatal("no network traffic collected")
+	}
+	if r.Memory.Accesses == 0 {
+		t.Fatal("no memory accesses collected")
+	}
+	if r.Contention.Total() != 12 {
+		t.Fatalf("contention samples = %d, want 12", r.Contention.Total())
+	}
+	if r.WriteRunTotal == 0 || r.WriteRunMean <= 0 {
+		t.Fatal("write runs not collected")
+	}
+	if len(r.Chains) == 0 {
+		t.Fatal("no chain classes collected")
+	}
+}
+
+func TestChainsSortedAndNamed(t *testing.T) {
+	r := Collect(runSmall())
+	var prev string
+	found := false
+	for _, c := range r.Chains {
+		if c.Class < prev {
+			t.Fatalf("chains not sorted: %q after %q", c.Class, prev)
+		}
+		prev = c.Class
+		if c.Class == "fetch_and_add/INV" {
+			found = true
+			if c.Count != 12 {
+				t.Fatalf("fetch_and_add count = %d, want 12", c.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("fetch_and_add/INV class missing: %+v", r.Chains)
+	}
+}
+
+func TestWriteTextRendersSections(t *testing.T) {
+	var b bytes.Buffer
+	Collect(runSmall()).WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"protocol:", "network:", "memory:", "contention:", "write-runs:", "fetch_and_add/INV"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b bytes.Buffer
+	Collect(runSmall()).WriteCSV(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "class,count,mean,max" {
+		t.Fatalf("csv header: %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatal("csv has no data rows")
+	}
+}

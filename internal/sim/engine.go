@@ -1,0 +1,154 @@
+// Package sim provides the discrete-event simulation engine that drives the
+// DSM machine model: a virtual clock, an event queue with deterministic
+// tie-breaking, and a seeded pseudo-random number source.
+//
+// All back-end components (caches, directories, memory modules, the mesh)
+// run inside the engine's single event loop; determinism follows from the
+// total order (time, sequence number) on events.
+package sim
+
+import "container/heap"
+
+// Time is the virtual clock, in processor cycles.
+type Time uint64
+
+// Event is a callback scheduled to run at a particular virtual time.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an event that
+// already ran is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+	// Stopped is set by Stop and terminates Run at the next event boundary.
+	stopped bool
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t less
+// than Now) runs the event at the current time, preserving issue order.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Pending reports the number of live scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Stop makes Run return after the event currently executing (if any).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock to its
+// time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// passes limit (limit zero means no limit). It returns the number of events
+// executed.
+func (e *Engine) Run(limit Time) uint64 {
+	var n uint64
+	e.stopped = false
+	for !e.stopped {
+		// Peek for the limit check without popping dead events eagerly.
+		if limit != 0 {
+			live := false
+			for e.queue.Len() > 0 {
+				top := e.queue[0]
+				if top.dead {
+					heap.Pop(&e.queue)
+					continue
+				}
+				live = top.at <= limit
+				break
+			}
+			if !live {
+				break
+			}
+		}
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{30, 10, 20} {
+		at := at
+		e.At(at, func() { got = append(got, e.Now()) })
+	}
+	e.Run(0)
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineTieBreaksBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order %v, want ascending", order)
+		}
+	}
+}
+
+func TestEngineAfterIsRelative(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.At(100, func() {
+		e.After(7, func() { fired = e.Now() })
+	})
+	e.Run(0)
+	if fired != 107 {
+		t.Fatalf("After fired at %d, want 107", fired)
+	}
+}
+
+func TestEngineSchedulingInPastRunsNow(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.At(50, func() {
+		e.At(10, func() { fired = e.Now() })
+	})
+	e.Run(0)
+	if fired != 50 {
+		t.Fatalf("past event fired at %d, want clamped to 50", fired)
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	ev.Cancel()
+	e.Run(0)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %d for a dead event", e.Now())
+	}
+}
+
+func TestEngineRunLimit(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	n := e.Run(12)
+	if n != 2 || len(ran) != 2 {
+		t.Fatalf("ran %d events %v, want 2 within limit 12", n, ran)
+	}
+	// Remaining events still runnable.
+	n = e.Run(0)
+	if n != 2 {
+		t.Fatalf("second Run executed %d, want 2", n)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(0)
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", count)
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	a := e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	a.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineStepOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue reported an event")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		r := NewRNG(42)
+		var trace []Time
+		var spawn func()
+		spawn = func() {
+			trace = append(trace, e.Now())
+			if len(trace) < 200 {
+				e.After(Time(1+r.Intn(10)), spawn)
+			}
+		}
+		e.At(0, spawn)
+		e.At(0, spawn)
+		e.Run(0)
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("traces differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGDeterministicAndDistinct(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if b.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-seed RNGs coincide %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-seeded RNG stuck at zero")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(123)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(5)
+	f1 := r.Fork(1)
+	f2 := r.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked RNGs coincide %d/100 times", same)
+	}
+}
+
+func TestRNGIntnRoughlyUniform(t *testing.T) {
+	r := NewRNG(2024)
+	const n, trials = 8, 80000
+	var buckets [n]int
+	for i := 0; i < trials; i++ {
+		buckets[r.Intn(n)]++
+	}
+	want := trials / n
+	for i, c := range buckets {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("bucket %d has %d draws, want ~%d", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyEventsExecuteInTimeOrder schedules a random batch of events
+// and verifies execution times are non-decreasing and ties respect
+// scheduling order.
+func TestPropertyEventsExecuteInTimeOrder(t *testing.T) {
+	f := func(delays []uint8) bool {
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var ran []rec
+		for i, d := range delays {
+			i, d := i, d
+			e.At(Time(d), func() { ran = append(ran, rec{e.Now(), i}) })
+		}
+		e.Run(0)
+		if len(ran) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(ran); i++ {
+			if ran[i].at < ran[i-1].at {
+				return false
+			}
+			if ran[i].at == ran[i-1].at && ran[i].seq < ran[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNestedSchedulingNeverTravelsBack: events scheduled from
+// inside events never run before their scheduling point.
+func TestPropertyNestedSchedulingNeverTravelsBack(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		e := NewEngine()
+		r := NewRNG(seed)
+		violated := false
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			born := e.Now()
+			e.After(Time(r.Intn(20)), func() {
+				if e.Now() < born {
+					violated = true
+				}
+				if depth < int(n%6) {
+					spawn(depth + 1)
+				}
+			})
+		}
+		e.At(0, func() { spawn(0) })
+		e.At(0, func() { spawn(0) })
+		e.Run(0)
+		return !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

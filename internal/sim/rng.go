@@ -1,0 +1,46 @@
+package sim
+
+// RNG is a small deterministic pseudo-random number generator
+// (xorshift64*), used for backoff jitter and workload generation so that
+// simulations are reproducible across runs and platforms.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant (xorshift state must be non-zero).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Fork derives an independent generator, useful for giving each simulated
+// processor its own stream without cross-coupling.
+func (r *RNG) Fork(salt uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (salt+1)*0xbf58476d1ce4e5b9)
+}

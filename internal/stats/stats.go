@@ -1,0 +1,106 @@
+// Package stats implements the measurement machinery of the paper's
+// methodology: integer histograms, the contention tracker behind the
+// figure-2 histograms ("number of processors contending to access an
+// atomically accessed shared location at the beginning of each access"),
+// the write-run-length tracker of Eggers & Katz as used in section 4.2, and
+// the serialized-message-chain recorder behind Table 1.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts occurrences of small integer values.
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+	sum    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]uint64)}
+}
+
+// Add records one occurrence of v.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+	h.sum += int64(v)
+}
+
+// AddN records n occurrences of v.
+func (h *Histogram) AddN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.counts[v] += n
+	h.total += n
+	h.sum += int64(v) * int64(n)
+}
+
+// Count returns the number of occurrences of v.
+func (h *Histogram) Count(v int) uint64 { return h.counts[v] }
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the average sample, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max returns the largest recorded value, or 0 for an empty histogram.
+func (h *Histogram) Max() int {
+	max := 0
+	first := true
+	for v := range h.counts {
+		if first || v > max {
+			max = v
+			first = false
+		}
+	}
+	return max
+}
+
+// Percent returns the percentage of samples equal to v.
+func (h *Histogram) Percent(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return 100 * float64(h.counts[v]) / float64(h.total)
+}
+
+// Values returns the recorded values in increasing order.
+func (h *Histogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for v, n := range other.counts {
+		h.AddN(v, n)
+	}
+}
+
+// String renders "v:count" pairs in increasing value order.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, v := range h.Values() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", v, h.counts[v])
+	}
+	return b.String()
+}

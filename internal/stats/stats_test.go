@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	if h.Total() != 3 || h.Count(1) != 2 || h.Count(3) != 1 || h.Count(2) != 0 {
+		t.Fatalf("histogram = %s", h)
+	}
+	if h.Mean() != 5.0/3.0 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 3 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if got := h.Percent(1); got < 66.6 || got > 66.7 {
+		t.Fatalf("Percent(1) = %v", got)
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(5, 10)
+	h.AddN(5, 0) // no-op
+	if h.Total() != 10 || h.Count(5) != 10 || h.Mean() != 5 {
+		t.Fatalf("histogram = %s", h)
+	}
+}
+
+func TestHistogramValuesSorted(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{9, 2, 7, 2, 0} {
+		h.Add(v)
+	}
+	want := []int{0, 2, 7, 9}
+	got := h.Values()
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Add(1)
+	b.Add(1)
+	b.Add(2)
+	a.Merge(b)
+	if a.Total() != 3 || a.Count(1) != 2 || a.Count(2) != 1 {
+		t.Fatalf("merged = %s", a)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Add(2)
+	h.Add(1)
+	h.Add(2)
+	if h.String() != "1:1 2:2" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestHistogramMeanMatchesSamplesProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		h := NewHistogram()
+		sum := 0
+		for _, v := range raw {
+			h.Add(int(v))
+			sum += int(v)
+		}
+		if len(raw) == 0 {
+			return h.Mean() == 0
+		}
+		want := float64(sum) / float64(len(raw))
+		diff := h.Mean() - want
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContentionNoOverlap(t *testing.T) {
+	c := NewContentionTracker()
+	for i := 0; i < 5; i++ {
+		c.Begin(0x100, i)
+		c.End(0x100, i)
+	}
+	h := c.Histogram()
+	if h.Total() != 5 || h.Count(1) != 5 {
+		t.Fatalf("histogram = %s", h)
+	}
+}
+
+func TestContentionConcurrentAccesses(t *testing.T) {
+	c := NewContentionTracker()
+	c.Begin(0x100, 0) // sees 1
+	c.Begin(0x100, 1) // sees 2
+	c.Begin(0x100, 2) // sees 3
+	c.End(0x100, 1)
+	c.Begin(0x100, 3) // sees 3 again
+	h := c.Histogram()
+	if h.Count(1) != 1 || h.Count(2) != 1 || h.Count(3) != 2 {
+		t.Fatalf("histogram = %s", h)
+	}
+}
+
+func TestContentionPerLocationIndependent(t *testing.T) {
+	c := NewContentionTracker()
+	c.Begin(0x100, 0)
+	c.Begin(0x200, 1) // different location: sees 1, not 2
+	if c.Histogram().Count(2) != 0 || c.Histogram().Count(1) != 2 {
+		t.Fatalf("histogram = %s", c.Histogram())
+	}
+}
+
+func TestContentionNestedSameProc(t *testing.T) {
+	c := NewContentionTracker()
+	c.Begin(0x100, 0)
+	c.Begin(0x100, 0) // same proc again (retry overlap): still one proc
+	if c.Histogram().Count(1) != 2 {
+		t.Fatalf("histogram = %s", c.Histogram())
+	}
+	c.End(0x100, 0)
+	c.End(0x100, 0)
+	c.Begin(0x100, 1)
+	if c.Histogram().Count(1) != 3 {
+		t.Fatal("proc not fully removed after nested ends")
+	}
+}
+
+func TestContentionEndWithoutBeginPanics(t *testing.T) {
+	c := NewContentionTracker()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.End(0x100, 0)
+}
+
+func TestWriteRunSingleWriter(t *testing.T) {
+	w := NewWriteRunTracker()
+	for i := 0; i < 4; i++ {
+		w.Access(0x100, 0, true)
+	}
+	w.Flush()
+	if w.Histogram().Count(4) != 1 || w.Histogram().Total() != 1 {
+		t.Fatalf("histogram = %s", w.Histogram())
+	}
+}
+
+func TestWriteRunAlternatingWriters(t *testing.T) {
+	w := NewWriteRunTracker()
+	for i := 0; i < 6; i++ {
+		w.Access(0x100, i%2, true)
+	}
+	w.Flush()
+	if w.Mean() != 1 {
+		t.Fatalf("Mean = %v, want 1 for alternating writers", w.Mean())
+	}
+	if w.Histogram().Total() != 6 {
+		t.Fatalf("runs = %d, want 6", w.Histogram().Total())
+	}
+}
+
+func TestWriteRunReadByOtherEndsRun(t *testing.T) {
+	w := NewWriteRunTracker()
+	w.Access(0x100, 0, true)
+	w.Access(0x100, 0, true)
+	w.Access(0x100, 1, false) // read by other proc intervenes
+	w.Access(0x100, 0, true)
+	w.Flush()
+	h := w.Histogram()
+	if h.Count(2) != 1 || h.Count(1) != 1 {
+		t.Fatalf("histogram = %s", h)
+	}
+}
+
+func TestWriteRunOwnReadDoesNotEndRun(t *testing.T) {
+	w := NewWriteRunTracker()
+	w.Access(0x100, 0, true)
+	w.Access(0x100, 0, false) // own read: acquire-test pattern
+	w.Access(0x100, 0, true)
+	w.Flush()
+	if w.Histogram().Count(2) != 1 {
+		t.Fatalf("histogram = %s", w.Histogram())
+	}
+}
+
+func TestWriteRunLocationsIndependent(t *testing.T) {
+	w := NewWriteRunTracker()
+	w.Access(0x100, 0, true)
+	w.Access(0x200, 1, true) // other location: not an intervention
+	w.Access(0x100, 0, true)
+	w.Flush()
+	if w.Histogram().Count(2) != 1 || w.Histogram().Count(1) != 1 {
+		t.Fatalf("histogram = %s", w.Histogram())
+	}
+}
+
+func TestWriteRunReadOnlyNeverRecords(t *testing.T) {
+	w := NewWriteRunTracker()
+	w.Access(0x100, 0, false)
+	w.Access(0x100, 1, false)
+	w.Flush()
+	if w.Histogram().Total() != 0 {
+		t.Fatalf("reads created runs: %s", w.Histogram())
+	}
+}
+
+func TestWriteRunLockPatternMeansNearTwo(t *testing.T) {
+	// Acquire (write) + release (write) by the same proc, then another
+	// proc: classic lock pattern => run length 2.
+	w := NewWriteRunTracker()
+	for i := 0; i < 10; i++ {
+		p := i % 4
+		w.Access(0x100, p, true) // acquire
+		w.Access(0x100, p, true) // release
+	}
+	w.Flush()
+	if w.Mean() != 2 {
+		t.Fatalf("Mean = %v, want 2", w.Mean())
+	}
+}
+
+func TestChainRecorder(t *testing.T) {
+	c := NewChainRecorder()
+	c.Record("inv-store-remote-exclusive", 4)
+	c.Record("inv-store-remote-exclusive", 4)
+	c.Record("unc-store", 2)
+	if h := c.Class("inv-store-remote-exclusive"); h.Count(4) != 2 {
+		t.Fatalf("class hist = %s", h)
+	}
+	if c.Class("missing") != nil {
+		t.Fatal("missing class not nil")
+	}
+	if len(c.Classes()) != 2 {
+		t.Fatalf("Classes = %v", c.Classes())
+	}
+}

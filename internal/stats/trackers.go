@@ -1,0 +1,141 @@
+package stats
+
+// Location identifies a tracked shared word (its byte address).
+type Location uint32
+
+// ContentionTracker builds the paper's contention histograms: at the
+// beginning of each atomic access to a tracked location it records how many
+// processors (including the newcomer) are concurrently attempting an atomic
+// access to that location.
+type ContentionTracker struct {
+	active map[Location]map[int]int // location -> proc -> nesting count
+	hist   *Histogram
+}
+
+// NewContentionTracker returns an empty tracker.
+func NewContentionTracker() *ContentionTracker {
+	return &ContentionTracker{
+		active: make(map[Location]map[int]int),
+		hist:   NewHistogram(),
+	}
+}
+
+// Begin records that proc started an atomic access to loc and samples the
+// current contention level.
+func (t *ContentionTracker) Begin(loc Location, proc int) {
+	procs := t.active[loc]
+	if procs == nil {
+		procs = make(map[int]int)
+		t.active[loc] = procs
+	}
+	procs[proc]++
+	t.hist.Add(len(procs))
+}
+
+// End records that proc finished an atomic access to loc. Unmatched Ends
+// indicate a protocol bug and panic.
+func (t *ContentionTracker) End(loc Location, proc int) {
+	procs := t.active[loc]
+	if procs == nil || procs[proc] == 0 {
+		panic("stats: contention End without Begin")
+	}
+	procs[proc]--
+	if procs[proc] == 0 {
+		delete(procs, proc)
+	}
+}
+
+// Histogram returns the accumulated contention histogram.
+func (t *ContentionTracker) Histogram() *Histogram { return t.hist }
+
+// writeRun is the in-progress run state for one location.
+type writeRun struct {
+	writer int
+	length int
+}
+
+// WriteRunTracker measures average write-run length: the number of
+// consecutive writes (including atomic updates) by one processor to a
+// location without intervening accesses — reads or writes — by any other
+// processor (Eggers & Katz; paper section 4.2).
+type WriteRunTracker struct {
+	runs map[Location]*writeRun
+	hist *Histogram
+}
+
+// NewWriteRunTracker returns an empty tracker.
+func NewWriteRunTracker() *WriteRunTracker {
+	return &WriteRunTracker{
+		runs: make(map[Location]*writeRun),
+		hist: NewHistogram(),
+	}
+}
+
+// Access records an access by proc to loc. Writes by the current run's
+// writer extend the run; any access by another processor terminates it.
+// Reads by the run's own writer neither extend nor terminate.
+func (t *WriteRunTracker) Access(loc Location, proc int, write bool) {
+	r := t.runs[loc]
+	if r != nil && proc != r.writer {
+		// Intervening access by another processor ends the run.
+		t.hist.Add(r.length)
+		delete(t.runs, loc)
+		r = nil
+	}
+	if !write {
+		return
+	}
+	if r == nil {
+		t.runs[loc] = &writeRun{writer: proc, length: 1}
+		return
+	}
+	r.length++
+}
+
+// Flush terminates all in-progress runs (call at end of simulation).
+func (t *WriteRunTracker) Flush() {
+	for loc, r := range t.runs {
+		t.hist.Add(r.length)
+		delete(t.runs, loc)
+	}
+}
+
+// Histogram returns the run-length histogram (Flush first for completeness).
+func (t *WriteRunTracker) Histogram() *Histogram { return t.hist }
+
+// Mean returns the average completed run length.
+func (t *WriteRunTracker) Mean() float64 { return t.hist.Mean() }
+
+// ChainRecorder accumulates serialized-network-message chain lengths per
+// operation class, reproducing Table 1.
+type ChainRecorder struct {
+	byClass map[string]*Histogram
+}
+
+// NewChainRecorder returns an empty recorder.
+func NewChainRecorder() *ChainRecorder {
+	return &ChainRecorder{byClass: make(map[string]*Histogram)}
+}
+
+// Record logs a completed transaction of the given class with the given
+// serialized network message count.
+func (c *ChainRecorder) Record(class string, chain int) {
+	h := c.byClass[class]
+	if h == nil {
+		h = NewHistogram()
+		c.byClass[class] = h
+	}
+	h.Add(chain)
+}
+
+// Class returns the histogram for a class, or nil if never recorded.
+func (c *ChainRecorder) Class(class string) *Histogram { return c.byClass[class] }
+
+// Classes returns the recorded class names (unsorted).
+func (c *ChainRecorder) Classes() []string {
+	out := make([]string, 0, len(c.byClass))
+	for k := range c.byClass {
+		out = append(out, k)
+	}
+	return out
+}
