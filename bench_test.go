@@ -10,12 +10,14 @@ package dsm_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"dsm/internal/apps"
 	"dsm/internal/core"
 	"dsm/internal/dir"
 	"dsm/internal/figures"
+	"dsm/internal/hostbench"
 	"dsm/internal/locks"
 	"dsm/internal/machine"
 	"dsm/internal/sim"
@@ -132,6 +134,30 @@ func BenchmarkFig6(b *testing.B) {
 			})
 		}
 	}
+}
+
+// ---------------------------------------------------- host-time family ----
+//
+// Unlike the figure benchmarks above (whose observable is simulated cycles),
+// the BenchmarkHost* family measures how fast the simulator itself runs on
+// the host: ns/event and allocs/event for the engine hot path, and the
+// wall-clock effect of fanning independent runs across cores. cmd/benchjson
+// runs the same bodies and records a JSON baseline per PR.
+
+// BenchmarkHostEngine measures the discrete-event core: a self-rescheduling
+// cascade mixing fired and cancelled events.
+func BenchmarkHostEngine(b *testing.B) { hostbench.Engine(b) }
+
+// BenchmarkHostMachine measures an end-to-end contended-counter simulation,
+// reporting the alloc profile of the full machine stack per event.
+func BenchmarkHostMachine(b *testing.B) { hostbench.MachineRun(b) }
+
+// BenchmarkHostSweep measures regenerating a reduced figure-3 grid serially
+// (par=1) and with one worker per host core (par=max); the ratio is the
+// run-level parallel speedup on this host.
+func BenchmarkHostSweep(b *testing.B) {
+	b.Run("par=1", hostbench.Sweep(1))
+	b.Run(fmt.Sprintf("par=%d", runtime.GOMAXPROCS(0)), hostbench.Sweep(0))
 }
 
 // ---------------------------------------------------------- ablations ----

@@ -1,0 +1,91 @@
+// Command benchjson runs the host-time benchmark family (the same bodies
+// behind `go test -bench BenchmarkHost`) and writes the results as JSON, so
+// the repository tracks its host-performance trajectory PR over PR:
+//
+//	go run ./cmd/benchjson -o BENCH_PR1.json
+//
+// Reported per benchmark: ns/op, B/op, allocs/op, and any custom metrics
+// the body emits (ns/event, events/sec). The header records the host shape
+// (cores, GOMAXPROCS, Go version) so baselines from different machines are
+// not compared naively.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dsm/internal/hostbench"
+)
+
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR1.json", "output file (- for stdout)")
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		body func(*testing.B)
+	}{
+		{"HostEngine", hostbench.Engine},
+		{"HostMachine", hostbench.MachineRun},
+		{"HostSweep/par=1", hostbench.Sweep(1)},
+		// One worker per core; the actual width is the gomaxprocs header
+		// field. The par=1 / par=max ratio is this host's sweep speedup.
+		{"HostSweep/par=max", hostbench.Sweep(0)},
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bench := range benches {
+		fmt.Fprintf(os.Stderr, "running %s...\n", bench.name)
+		r := testing.Benchmark(bench.body)
+		rep.Benchmarks = append(rep.Benchmarks, result{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Metrics:     r.Extra,
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -12,12 +12,14 @@
 //	figures -all                # everything at paper scale (slow)
 //	figures -table1 -fig3       # selected artifacts
 //	figures -fig3 -procs 16 -rounds 8   # reduced scale
+//	figures -all -par 1         # force serial execution (output identical)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dsm/internal/apps"
@@ -40,6 +42,7 @@ func main() {
 		tcsize = flag.Int("tcsize", 32, "transitive-closure vertices")
 		csv    = flag.Bool("csv", false, "emit CSV instead of text tables")
 		tceff  = flag.Bool("tceff", false, "Transitive Closure parallel efficiency (section 4.2)")
+		par    = flag.Int("par", runtime.NumCPU(), "concurrent simulation runs (1 = serial; output is identical)")
 	)
 	flag.Parse()
 
@@ -47,19 +50,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	o := figures.RunOpts{Procs: *procs, Rounds: *rounds, TCSize: *tcsize}
+	o := figures.RunOpts{Procs: *procs, Rounds: *rounds, TCSize: *tcsize, Par: *par}
 
+	// Timing goes to stderr so stdout carries only the artifacts and is
+	// byte-identical for every -par value.
 	section := func(enabled bool, run func()) {
 		if !(*all || enabled) {
 			return
 		}
 		start := time.Now()
 		run()
-		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(generated in %v)\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
 
 	if *csv {
-		section(*table1, func() { figures.WriteTable1CSV(os.Stdout) })
+		section(*table1, func() { figures.WriteTable1CSVPar(os.Stdout, o.Par) })
 		section(*fig3, func() { figures.WriteSyntheticCSV(os.Stdout, "fig3", apps.CounterApp, o) })
 		section(*fig4, func() { figures.WriteSyntheticCSV(os.Stdout, "fig4", apps.TTSApp, o) })
 		section(*fig5, func() { figures.WriteSyntheticCSV(os.Stdout, "fig5", apps.MCSApp, o) })
@@ -76,7 +82,7 @@ func main() {
 		fmt.Printf("Transitive Closure parallel efficiency at p=%d, n=%d: %.1f%%\n",
 			o.Procs, o.TCSize, 100*eff)
 	})
-	section(*table1, func() { figures.WriteTable1(os.Stdout) })
+	section(*table1, func() { figures.WriteTable1Par(os.Stdout, o.Par) })
 	section(*fig2, func() { figures.Fig2(os.Stdout, o) })
 	section(*fig3, func() { figures.Fig3(os.Stdout, o) })
 	section(*fig4, func() { figures.Fig4(os.Stdout, o) })

@@ -78,6 +78,12 @@ type RunOpts struct {
 	Procs  int // simulated processors
 	Rounds int // barrier-separated rounds per synthetic pattern
 
+	// Par is the number of independent simulation runs executed
+	// concurrently on host goroutines (see Sweep). 0 means GOMAXPROCS;
+	// 1 restores fully serial execution. Results are identical for any
+	// value: determinism is per-run, parallelism is across runs.
+	Par int
+
 	// Real-application sizes (figure 2 and 6).
 	TCSize  int // transitive-closure vertices
 	Wires   int // LocusRoute wires (0 = 3*Procs)

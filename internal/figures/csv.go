@@ -11,9 +11,12 @@ import (
 )
 
 // WriteTable1CSV renders Table 1 as CSV (case,paper,measured).
-func WriteTable1CSV(w io.Writer) {
+func WriteTable1CSV(w io.Writer) { WriteTable1CSVPar(w, 0) }
+
+// WriteTable1CSVPar is WriteTable1CSV with an explicit sweep width.
+func WriteTable1CSVPar(w io.Writer, par int) {
 	fmt.Fprintln(w, "case,paper,measured")
-	for _, r := range Table1() {
+	for _, r := range Table1Par(par) {
 		fmt.Fprintf(w, "%q,%d,%d\n", r.Case, r.Paper, r.Got)
 	}
 }
@@ -32,11 +35,11 @@ func WriteSyntheticCSV(w io.Writer, name string, app func(*machine.Machine, core
 
 // WriteFig6CSV renders figure 6 as CSV rows of (app,bar,elapsed_cycles).
 func WriteFig6CSV(w io.Writer, o RunOpts) {
+	grid, bars, realApps := fig6Grid(o)
 	fmt.Fprintln(w, "app,bar,elapsed_cycles")
-	for _, bar := range SyntheticBars() {
-		for _, app := range RealApps() {
-			_, elapsed := RunReal(app, o, bar)
-			fmt.Fprintf(w, "%s,%q,%d\n", app, bar.Label, elapsed)
+	for bi, bar := range bars {
+		for ai, app := range realApps {
+			fmt.Fprintf(w, "%s,%q,%d\n", app, bar.Label, grid[bi][ai])
 		}
 	}
 }

@@ -21,27 +21,26 @@ type Table1Row struct {
 
 // Table1 measures the serialized network message counts for stores under
 // every coherence situation of the paper's Table 1, by constructing each
-// situation directly and reading the transaction's chain length.
-func Table1() []Table1Row {
+// situation directly and reading the transaction's chain length. Runs are
+// fanned across GOMAXPROCS workers; use Table1Par to control the width.
+func Table1() []Table1Row { return Table1Par(0) }
+
+// Table1Par is Table1 with an explicit sweep width (see Sweep).
+func Table1Par(par int) []Table1Row {
 	cfg := core.DefaultConfig()
-	run := func(policy core.Policy, setup func(m *machine.Machine, a arch.Addr), measure func(m *machine.Machine, a arch.Addr) int) int {
+	measureStore := func(policy core.Policy, setup func(m *machine.Machine, a arch.Addr)) int {
 		m := machine.New(cfg)
 		a := m.AllocSyncAt(9, policy) // remote home for nodes 0-2
 		if setup != nil {
 			setup(m, a)
 		}
-		return measure(m, a)
-	}
-	storeFrom := func(node int) func(m *machine.Machine, a arch.Addr) int {
-		return func(m *machine.Machine, a arch.Addr) int {
-			chain := -1
-			progs := make([]func(*machine.Proc), m.Procs())
-			progs[node] = func(p *machine.Proc) {
-				chain = p.Do(core.Request{Op: core.OpStore, Addr: a, Val: 1}).Chain
-			}
-			m.RunEach(progs)
-			return chain
+		chain := -1
+		progs := make([]func(*machine.Proc), m.Procs())
+		progs[0] = func(p *machine.Proc) {
+			chain = p.Do(core.Request{Op: core.OpStore, Addr: a, Val: 1}).Chain
 		}
+		m.RunEach(progs)
+		return chain
 	}
 	runOn := func(m *machine.Machine, node int, f func(p *machine.Proc)) {
 		progs := make([]func(*machine.Proc), m.Procs())
@@ -49,35 +48,50 @@ func Table1() []Table1Row {
 		m.RunEach(progs)
 	}
 
-	return []Table1Row{
-		{"UNC", 2, run(core.PolicyUNC, nil, storeFrom(0))},
-		{"INV to cached exclusive", 0, run(core.PolicyINV,
+	cases := []struct {
+		name   string
+		paper  int
+		policy core.Policy
+		setup  func(m *machine.Machine, a arch.Addr)
+	}{
+		{"UNC", 2, core.PolicyUNC, nil},
+		{"INV to cached exclusive", 0, core.PolicyINV,
 			func(m *machine.Machine, a arch.Addr) {
 				runOn(m, 0, func(p *machine.Proc) { p.Store(a, 7) })
-			}, storeFrom(0))},
-		{"INV to remote exclusive", 4, run(core.PolicyINV,
+			}},
+		{"INV to remote exclusive", 4, core.PolicyINV,
 			func(m *machine.Machine, a arch.Addr) {
 				runOn(m, 1, func(p *machine.Proc) { p.Store(a, 7) })
-			}, storeFrom(0))},
-		{"INV to remote shared", 3, run(core.PolicyINV,
+			}},
+		{"INV to remote shared", 3, core.PolicyINV,
 			func(m *machine.Machine, a arch.Addr) {
 				runOn(m, 1, func(p *machine.Proc) { p.Load(a) })
 				runOn(m, 2, func(p *machine.Proc) { p.Load(a) })
-			}, storeFrom(0))},
-		{"INV to uncached", 2, run(core.PolicyINV, nil, storeFrom(0))},
-		{"UPD to cached", 3, run(core.PolicyUPD,
+			}},
+		{"INV to uncached", 2, core.PolicyINV, nil},
+		{"UPD to cached", 3, core.PolicyUPD,
 			func(m *machine.Machine, a arch.Addr) {
 				runOn(m, 1, func(p *machine.Proc) { p.Load(a) })
-			}, storeFrom(0))},
-		{"UPD to uncached", 2, run(core.PolicyUPD, nil, storeFrom(0))},
+			}},
+		{"UPD to uncached", 2, core.PolicyUPD, nil},
 	}
+
+	rows := make([]Table1Row, len(cases))
+	Sweep(len(cases), par, func(i int) {
+		c := cases[i]
+		rows[i] = Table1Row{Case: c.name, Paper: c.paper, Got: measureStore(c.policy, c.setup)}
+	})
+	return rows
 }
 
 // WriteTable1 renders Table 1 with paper-vs-measured columns.
-func WriteTable1(w io.Writer) {
+func WriteTable1(w io.Writer) { WriteTable1Par(w, 0) }
+
+// WriteTable1Par is WriteTable1 with an explicit sweep width.
+func WriteTable1Par(w io.Writer, par int) {
 	fmt.Fprintln(w, "Table 1: serialized network messages for stores to shared memory")
 	fmt.Fprintf(w, "%-28s %6s %9s\n", "case", "paper", "measured")
-	for _, r := range Table1() {
+	for _, r := range Table1Par(par) {
 		mark := ""
 		if r.Got != r.Paper {
 			mark = "  MISMATCH"
@@ -90,19 +104,23 @@ func WriteTable1(w io.Writer) {
 
 // SyntheticFigure runs one of figures 3-5: every bar under every sharing
 // pattern, returning average cycles per counter update indexed as
-// [pattern][bar].
+// [pattern][bar]. The pattern x bar runs are independent simulations and
+// are fanned across o.Par workers; the grid is indexed, not appended, so
+// results land in serial order regardless of completion order.
 func SyntheticFigure(app func(*machine.Machine, core.Policy, locks.Options, apps.Pattern) apps.SyntheticResult, o RunOpts) ([][]float64, []Bar, []Pattern) {
 	bars := SyntheticBars()
 	pats := Patterns(o)
 	grid := make([][]float64, len(pats))
-	for pi, pat := range pats {
+	for pi := range grid {
 		grid[pi] = make([]float64, len(bars))
-		for bi, bar := range bars {
-			m := NewMachine(o, bar)
-			res := app(m, bar.Policy, bar.Opts(), pat)
-			grid[pi][bi] = res.AvgCycles
-		}
 	}
+	Sweep(len(pats)*len(bars), o.Par, func(i int) {
+		pi, bi := i/len(bars), i%len(bars)
+		bar := bars[bi]
+		m := NewMachine(o, bar)
+		res := app(m, bar.Policy, bar.Opts(), pats[pi])
+		grid[pi][bi] = res.AvgCycles
+	})
 	return grid, bars, pats
 }
 
@@ -213,20 +231,27 @@ func RunReal(app RealApp, o RunOpts, bar Bar) (*machine.Machine, uint64) {
 func Fig2(w io.Writer, o RunOpts) {
 	fmt.Fprintf(w, "Figure 2: contention histograms (p=%d; %% of accesses at each level)\n", o.Procs)
 	levels := []int{1, 2, 3, 4, 8, 16, 32, 48, 64}
-	for _, app := range RealApps() {
-		for _, pol := range []core.Policy{core.PolicyINV, core.PolicyUNC, core.PolicyUPD} {
-			bar := Bar{Policy: pol, Prim: locks.PrimFAP}
-			m, _ := RunReal(app, o, bar)
-			hist := m.System().Contention().Histogram()
-			wr := m.System().WriteRuns()
-			wr.Flush()
-			fmt.Fprintf(w, "%-18s %-3s  write-run %.2f  |", app, pol, wr.Mean())
-			for _, lv := range levels {
-				// Bucket: sum counts in (prev, lv].
-				fmt.Fprintf(w, " %2d:%5.1f%%", lv, bucketPercent(hist, levels, lv))
-			}
-			fmt.Fprintln(w)
+	realApps := RealApps()
+	pols := []core.Policy{core.PolicyINV, core.PolicyUNC, core.PolicyUPD}
+	// Run the app x policy grid in parallel, retaining each machine for its
+	// statistics; render serially afterwards in the fixed grid order.
+	machines := make([]*machine.Machine, len(realApps)*len(pols))
+	Sweep(len(machines), o.Par, func(i int) {
+		app, pol := realApps[i/len(pols)], pols[i%len(pols)]
+		m, _ := RunReal(app, o, Bar{Policy: pol, Prim: locks.PrimFAP})
+		machines[i] = m
+	})
+	for i, m := range machines {
+		app, pol := realApps[i/len(pols)], pols[i%len(pols)]
+		hist := m.System().Contention().Histogram()
+		wr := m.System().WriteRuns()
+		wr.Flush()
+		fmt.Fprintf(w, "%-18s %-3s  write-run %.2f  |", app, pol, wr.Mean())
+		for _, lv := range levels {
+			// Bucket: sum counts in (prev, lv].
+			fmt.Fprintf(w, " %2d:%5.1f%%", lv, bucketPercent(hist, levels, lv))
 		}
+		fmt.Fprintln(w)
 	}
 }
 
@@ -252,26 +277,48 @@ func bucketPercent(h *stats.Histogram, levels []int, level int) float64 {
 func TCEfficiency(o RunOpts, bar Bar) float64 {
 	single := o
 	single.Procs = 1
-	_, t1 := RunReal(AppTClosure, single, bar)
-	_, tp := RunReal(AppTClosure, o, bar)
+	var t1, tp uint64
+	Sweep(2, o.Par, func(i int) {
+		if i == 0 {
+			_, t1 = RunReal(AppTClosure, single, bar)
+		} else {
+			_, tp = RunReal(AppTClosure, o, bar)
+		}
+	})
 	return float64(t1) / (float64(o.Procs) * float64(tp))
+}
+
+// fig6Grid runs every bar x application combination, returning total
+// elapsed cycles indexed as [bar][app].
+func fig6Grid(o RunOpts) ([][]uint64, []Bar, []RealApp) {
+	bars := SyntheticBars()
+	realApps := RealApps()
+	grid := make([][]uint64, len(bars))
+	for bi := range grid {
+		grid[bi] = make([]uint64, len(realApps))
+	}
+	Sweep(len(bars)*len(realApps), o.Par, func(i int) {
+		bi, ai := i/len(realApps), i%len(realApps)
+		_, elapsed := RunReal(realApps[ai], o, bars[bi])
+		grid[bi][ai] = elapsed
+	})
+	return grid, bars, realApps
 }
 
 // Fig6 renders the total elapsed time of the real applications under every
 // bar configuration.
 func Fig6(w io.Writer, o RunOpts) {
-	bars := SyntheticBars()
+	grid, bars, realApps := fig6Grid(o)
 	fmt.Fprintf(w, "Figure 6: total elapsed cycles, real applications (p=%d)\n", o.Procs)
 	fmt.Fprintf(w, "%-18s", "")
-	for _, app := range RealApps() {
+	for _, app := range realApps {
 		fmt.Fprintf(w, "%14s", app.String())
 	}
 	fmt.Fprintln(w)
-	for _, bar := range bars {
+	for bi, bar := range bars {
 		fmt.Fprintf(w, "%-18s", bar.Label)
-		for _, app := range RealApps() {
-			_, elapsed := RunReal(app, o, bar)
-			fmt.Fprintf(w, "%14d", elapsed)
+		for ai := range realApps {
+			fmt.Fprintf(w, "%14d", grid[bi][ai])
 		}
 		fmt.Fprintln(w)
 	}

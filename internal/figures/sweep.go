@@ -1,0 +1,57 @@
+package figures
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep runs job(0) .. job(n-1) across a pool of par worker goroutines and
+// returns when all jobs have finished.
+//
+// Each simulation run owns its machine — engine, mesh, protocol state, RNG
+// streams, and statistics are all per-Machine, and the packages underneath
+// hold no mutable package-level state — so independent runs share nothing
+// and the fan-out cannot perturb results. Determinism is preserved by
+// construction: jobs write their results into caller-provided slots indexed
+// by job number, and callers render the slots in serial order afterwards,
+// so output is byte-identical for every par, including par == 1.
+//
+// par <= 0 selects GOMAXPROCS workers; par == 1 runs the jobs serially on
+// the calling goroutine (no goroutines spawned), restoring the pre-parallel
+// execution exactly. Jobs are handed out by an atomic counter rather than
+// striped up front, so long runs (real applications) do not straggle behind
+// a fixed partition.
+func Sweep(n, par int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	if par == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

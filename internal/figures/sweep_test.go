@@ -1,0 +1,91 @@
+package figures
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"dsm/internal/apps"
+)
+
+func TestSweepRunsEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 7, 100} {
+		const n = 37
+		var counts [n]atomic.Int32
+		Sweep(n, par, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("par=%d: job %d ran %d times, want 1", par, i, c)
+			}
+		}
+	}
+}
+
+func TestSweepZeroJobs(t *testing.T) {
+	Sweep(0, 4, func(i int) { t.Fatal("job ran for n=0") })
+}
+
+// TestParallelSyntheticCSVDeterminism checks the tentpole's determinism
+// contract: the same seed and scale produce byte-identical figure CSV
+// whether runs execute serially or fanned across workers.
+func TestParallelSyntheticCSVDeterminism(t *testing.T) {
+	render := func(par int) string {
+		o := RunOpts{Procs: 8, Rounds: 2, Par: par}
+		var b bytes.Buffer
+		WriteSyntheticCSV(&b, "fig3", apps.CounterApp, o)
+		return b.String()
+	}
+	serial := render(1)
+	for _, par := range []int{2, 8} {
+		if got := render(par); got != serial {
+			t.Fatalf("par=%d CSV differs from serial:\n%s\n--- vs ---\n%s", par, got, serial)
+		}
+	}
+}
+
+// TestParallelFig6CyclesDeterminism checks that per-run simulated cycle
+// counts (the figure-6 observable) are unaffected by host parallelism.
+func TestParallelFig6CyclesDeterminism(t *testing.T) {
+	render := func(par int) string {
+		o := RunOpts{Procs: 4, Rounds: 1, TCSize: 6, Wires: 6, Columns: 6, Par: par}
+		var b bytes.Buffer
+		WriteFig6CSV(&b, o)
+		return b.String()
+	}
+	serial := render(1)
+	if got := render(8); got != serial {
+		t.Fatalf("parallel Fig6 CSV differs from serial:\n%s\n--- vs ---\n%s", got, serial)
+	}
+}
+
+// TestParallelTable1Determinism checks Table 1 rows come back in case order
+// with the paper's counts regardless of sweep width.
+func TestParallelTable1Determinism(t *testing.T) {
+	serial := Table1Par(1)
+	for _, par := range []int{0, 4} {
+		rows := Table1Par(par)
+		if len(rows) != len(serial) {
+			t.Fatalf("par=%d: %d rows, want %d", par, len(rows), len(serial))
+		}
+		for i := range rows {
+			if rows[i] != serial[i] {
+				t.Fatalf("par=%d row %d = %+v, want %+v", par, i, rows[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestParallelFig2Determinism checks the contention-histogram rendering
+// (which retains whole machines across the sweep) is order-stable.
+func TestParallelFig2Determinism(t *testing.T) {
+	render := func(par int) string {
+		o := RunOpts{Procs: 8, Rounds: 2, TCSize: 8, Par: par}
+		var b bytes.Buffer
+		Fig2(&b, o)
+		return b.String()
+	}
+	serial := render(1)
+	if got := render(8); got != serial {
+		t.Fatalf("parallel Fig2 differs from serial:\n%s\n--- vs ---\n%s", got, serial)
+	}
+}

@@ -1,0 +1,90 @@
+// Package hostbench holds the host-time benchmark bodies: how fast the
+// simulator itself runs on the host, as opposed to the simulated-cycle
+// measurements of the paper reproduction. The bodies are ordinary
+// func(*testing.B) so the same code backs the `go test -bench` wrappers in
+// bench_test.go and cmd/benchjson, which runs them via testing.Benchmark
+// and records the numbers as a JSON baseline per PR.
+package hostbench
+
+import (
+	"testing"
+
+	"dsm/internal/apps"
+	"dsm/internal/core"
+	"dsm/internal/figures"
+	"dsm/internal/locks"
+	"dsm/internal/sim"
+)
+
+func nop() {}
+
+// eventsPerIter is the number of events each Engine benchmark iteration
+// schedules: two that fire and one that is cancelled.
+const eventsPerIter = 3
+
+// Engine exercises the discrete-event core's hot path: a self-rescheduling
+// cascade that mixes fired and cancelled events, the pattern the machine
+// model produces (memory-reference completions plus cancelled timeouts).
+// Reports ns/event and events/sec over executed events; allocs/op divided
+// by 3 is allocs/event (0 once the free list warms up).
+func Engine(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(3, tick)
+			e.After(5, nop)
+			e.After(7, nop).Cancel()
+		}
+	}
+	e.At(0, tick)
+	b.ResetTimer()
+	executed := e.Run(0)
+	sec := b.Elapsed().Seconds()
+	if executed > 0 && sec > 0 {
+		b.ReportMetric(sec*1e9/float64(executed), "ns/event")
+		b.ReportMetric(float64(executed)/sec, "events/sec")
+	}
+}
+
+// sweepOpts is the reduced scale the Sweep benchmarks run at: large enough
+// that each of the 210 pattern x bar runs does real protocol work, small
+// enough for -bench iterations to be affordable.
+func sweepOpts(par int) figures.RunOpts {
+	return figures.RunOpts{Procs: 8, Rounds: 3, Par: par}
+}
+
+// Sweep regenerates a reduced figure-3 grid (every bar x pattern) with the
+// given fan-out; par 1 is the serial baseline the speedup is measured
+// against, par 0 uses every host core.
+func Sweep(par int) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			figures.SyntheticFigure(apps.CounterApp, sweepOpts(par))
+		}
+	}
+}
+
+// MachineRun measures one end-to-end contended-counter simulation per
+// iteration — the alloc profile of the whole machine stack (engine pool,
+// preallocated proc callbacks, protocol layer) rather than the bare engine.
+func MachineRun(b *testing.B) {
+	b.ReportAllocs()
+	bar := figures.Bar{Policy: core.PolicyUNC, Prim: locks.PrimFAP}
+	o := figures.RunOpts{Procs: 8, Rounds: 3}
+	pat := apps.Pattern{Contention: 8, Rounds: o.Rounds}
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		m := figures.NewMachine(o, bar)
+		apps.CounterApp(m, bar.Policy, bar.Opts(), pat)
+		events += m.Engine().EventsExecuted()
+	}
+	sec := b.Elapsed().Seconds()
+	if events > 0 && sec > 0 {
+		b.ReportMetric(sec*1e9/float64(events), "ns/event")
+		b.ReportMetric(float64(events)/sec, "events/sec")
+	}
+}

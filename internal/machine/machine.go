@@ -212,8 +212,7 @@ func (m *Machine) RunEach(programs []func(p *Proc)) sim.Time {
 		if prog == nil {
 			continue
 		}
-		p := m.procs[i]
-		m.eng.At(start, func() { p.step(core.Result{}) })
+		m.eng.At(start, m.procs[i].resumeFn)
 	}
 	for m.running > 0 {
 		if !m.eng.Step() {

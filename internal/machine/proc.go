@@ -44,12 +44,21 @@ type Proc struct {
 	action chan action
 	rng    *sim.RNG
 
+	// done and resumeFn are preallocated once per Proc so the per-operation
+	// hot path (one Done callback per memory reference, one resume callback
+	// per compute delay) schedules without allocating a closure.
+	done     func(core.Result)
+	resumeFn func()
+
 	lastSerial arch.Word // serial returned by the most recent load_linked
 	stats      ProcStats
 }
 
 func newProc(m *Machine, n mesh.NodeID) *Proc {
-	return &Proc{m: m, node: n}
+	p := &Proc{m: m, node: n}
+	p.done = func(res core.Result) { p.step(res) }
+	p.resumeFn = func() { p.step(core.Result{}) }
+	return p
 }
 
 // begin prepares the processor for a program and starts its goroutine. The
@@ -75,10 +84,10 @@ func (p *Proc) step(r core.Result) {
 	switch act.kind {
 	case actIssue:
 		req := act.req
-		req.Done = func(res core.Result) { p.step(res) }
+		req.Done = p.done
 		p.m.sys.Cache(p.node).Issue(req)
 	case actCompute:
-		p.m.eng.After(act.cycles, func() { p.step(core.Result{}) })
+		p.m.eng.After(act.cycles, p.resumeFn)
 	case actBarrier:
 		p.m.arriveBarrier(p)
 	case actDone:

@@ -125,6 +125,164 @@ func TestEnginePending(t *testing.T) {
 	}
 }
 
+func TestEnginePendingOnDoubleCancel(t *testing.T) {
+	e := NewEngine()
+	a := e.At(1, func() {})
+	e.At(2, func() {})
+	a.Cancel()
+	a.Cancel() // must not decrement the live counter twice
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after double cancel = %d, want 1", e.Pending())
+	}
+	e.Run(0)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+func TestEnginePendingTracksRunAndReschedule(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() { e.After(1, func() {}) })
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 2 { // one ran, one was scheduled from inside it
+		t.Fatalf("Pending after step = %d, want 2", e.Pending())
+	}
+	e.Run(0)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventPoolReusesFiredEvent(t *testing.T) {
+	e := NewEngine()
+	ev1 := e.At(1, func() {})
+	e.Run(0)
+	ev2 := e.At(2, func() {})
+	if ev1 != ev2 {
+		t.Fatal("fired event was not recycled by the next At")
+	}
+	// Cancel through the stale first handle targets the same storage; the
+	// live counter must stay consistent.
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(0)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventPoolReuseAfterCancel(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	ev := e.At(5, func() { ran++ })
+	ev.Cancel()
+	e.Run(0) // pops and recycles the dead event
+	if ran != 0 {
+		t.Fatal("cancelled event ran")
+	}
+	ev2 := e.At(7, func() { ran++ })
+	if ev2 != ev {
+		t.Fatal("cancelled event was not recycled")
+	}
+	if ev2.dead {
+		t.Fatal("recycled event still marked dead")
+	}
+	e.Run(0)
+	if ran != 1 {
+		t.Fatalf("recycled event ran %d times, want 1", ran)
+	}
+}
+
+func TestEventCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(1, func() {})
+	e.Run(0)
+	ev.Cancel() // fired and recycled to the pool: must be a no-op
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+	later := e.At(3, func() {})
+	if later.dead {
+		t.Fatal("event scheduled after stale Cancel is dead")
+	}
+}
+
+// TestEngineEqualTimestampStress drives the 4-ary heap through a large mix
+// of duplicate timestamps and verifies the (time, seq) total order — the
+// scheduling-order tie-break — survives sift-up/sift-down at every arity
+// boundary.
+func TestEngineEqualTimestampStress(t *testing.T) {
+	e := NewEngine()
+	r := NewRNG(77)
+	type rec struct {
+		at  Time
+		ord int
+	}
+	var got []rec
+	next := 0
+	for i := 0; i < 3000; i++ {
+		at := Time(r.Intn(17)) // heavy timestamp collisions
+		ord := next
+		next++
+		e.At(at, func() { got = append(got, rec{at, ord}) })
+	}
+	e.Run(0)
+	if len(got) != 3000 {
+		t.Fatalf("ran %d events, want 3000", len(got))
+	}
+	seen := make(map[Time]int)
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("time order violated at %d: %d after %d", i, got[i].at, got[i-1].at)
+		}
+	}
+	for _, g := range got {
+		if last, ok := seen[g.at]; ok && g.ord < last {
+			t.Fatalf("tie-break violated at t=%d: order %d after %d", g.at, g.ord, last)
+		}
+		seen[g.at] = g.ord
+	}
+}
+
+// TestEnginePoolStressDeterminism interleaves scheduling, cancellation, and
+// execution so events cycle through the pool many times, and checks the
+// execution trace is reproducible.
+func TestEnginePoolStressDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		r := NewRNG(9)
+		var trace []Time
+		var spawn func()
+		n := 0
+		spawn = func() {
+			trace = append(trace, e.Now())
+			n++
+			if n >= 500 {
+				return
+			}
+			e.After(Time(1+r.Intn(5)), spawn)
+			e.After(Time(1+r.Intn(5)), func() { t.Error("cancelled event ran") }).Cancel()
+		}
+		e.At(0, spawn)
+		e.Run(0)
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d", i)
+		}
+	}
+}
+
 func TestEngineStepOnEmptyQueue(t *testing.T) {
 	e := NewEngine()
 	if e.Step() {
