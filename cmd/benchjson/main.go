@@ -8,6 +8,10 @@
 // the body emits (ns/event, events/sec). The header records the host shape
 // (cores, GOMAXPROCS, Go version) so baselines from different machines are
 // not compared naively.
+//
+// Compare two recorded baselines without running anything:
+//
+//	go run ./cmd/benchjson -compare BENCH_PR1.json BENCH_PR2.json
 package main
 
 import (
@@ -39,9 +43,83 @@ type report struct {
 	Benchmarks []result `json:"benchmarks"`
 }
 
+// loadReport reads a JSON baseline previously written by this command.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// delta formats "old -> new (+x.x%)" for one metric, or just the new value
+// when the benchmark is absent from the old baseline.
+func delta(old, new float64, haveOld bool, format string) string {
+	if !haveOld {
+		return fmt.Sprintf(format, new)
+	}
+	pct := "n/a"
+	if old != 0 {
+		pct = fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+	}
+	return fmt.Sprintf(format+" -> "+format+" (%s)", old, new, pct)
+}
+
+// compare prints a per-benchmark table of ns/op, B/op, and allocs/op deltas
+// between two recorded baselines. Benchmarks present in only one file are
+// listed as added or removed.
+func compare(oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]result, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Printf("old: %s (%s, %d cpu)\n", oldPath, oldRep.Date, oldRep.NumCPU)
+	fmt.Printf("new: %s (%s, %d cpu)\n", newPath, newRep.Date, newRep.NumCPU)
+	if oldRep.NumCPU != newRep.NumCPU || oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Println("warning: host shape differs; time deltas are not comparable")
+	}
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		delete(oldBy, nb.Name)
+		fmt.Printf("\n%s\n", nb.Name)
+		fmt.Printf("  ns/op:     %s\n", delta(ob.NsPerOp, nb.NsPerOp, ok, "%.1f"))
+		fmt.Printf("  B/op:      %s\n", delta(float64(ob.BytesPerOp), float64(nb.BytesPerOp), ok, "%.0f"))
+		fmt.Printf("  allocs/op: %s\n", delta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp), ok, "%.0f"))
+	}
+	for name := range oldBy {
+		fmt.Printf("\n%s: removed (only in %s)\n", name, oldPath)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_PR1.json", "output file (- for stdout)")
+	cmp := flag.Bool("compare", false, "compare two baseline files: -compare old.json new.json")
 	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	benches := []struct {
 		name string

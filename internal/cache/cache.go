@@ -92,19 +92,36 @@ type Cache struct {
 	// Cache-side LL/SC reservation: one bit and one address register.
 	resvValid bool
 	resvAddr  arch.Addr // block base
+
+	// victim is scratch space for the *Victim returned by Insert and
+	// Invalidate, so displacing a line never allocates. The returned
+	// pointer is valid only until the next Insert or Invalidate call.
+	victim Victim
 }
 
 // New returns an empty cache. It panics on non-positive or non-power-of-two
 // geometry (programming errors in machine assembly).
 func New(cfg Config) *Cache {
+	c := &Cache{}
+	c.Init(cfg)
+	return c
+}
+
+// Init (re)initializes a cache in place, for callers that embed Cache by
+// value. It panics on non-positive or non-power-of-two geometry
+// (programming errors in machine assembly).
+func (c *Cache) Init(cfg Config) {
 	if cfg.Sets <= 0 || cfg.Assoc <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
 		panic(fmt.Sprintf("cache: invalid geometry %+v", cfg))
 	}
+	// All lines live in one slab; sets are full-capacity subslices of it.
+	// A default-geometry cache is two allocations, not Sets+1.
+	lines := make([]Line, cfg.Sets*cfg.Assoc)
 	sets := make([][]Line, cfg.Sets)
 	for i := range sets {
-		sets[i] = make([]Line, cfg.Assoc)
+		sets[i] = lines[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
-	return &Cache{cfg: cfg, sets: sets}
+	*c = Cache{cfg: cfg, sets: sets}
 }
 
 // Stats returns a snapshot of the activity counters.
@@ -155,7 +172,8 @@ type Victim struct {
 // Insert fills the block containing a with the given state and data,
 // returning the displaced victim, if any. Inserting over an existing copy
 // of the same block updates it in place (no victim). Filling an Invalid way
-// produces no victim.
+// produces no victim. The returned victim points at scratch space inside
+// the cache and is overwritten by the next Insert or Invalidate.
 func (c *Cache) Insert(a arch.Addr, st State, data arch.BlockData) (*Line, *Victim) {
 	if st == Invalid {
 		panic("cache: inserting an invalid line")
@@ -189,7 +207,7 @@ func (c *Cache) Insert(a arch.Addr, st State, data arch.BlockData) (*Line, *Vict
 			v = &set[i]
 		}
 	}
-	victim := &Victim{Base: v.Base, State: v.State, Data: v.Data}
+	c.victim = Victim{Base: v.Base, State: v.State, Data: v.Data}
 	c.stats.Evictions++
 	if v.State == ExclusiveRW {
 		c.stats.DirtyEvictions++
@@ -200,12 +218,14 @@ func (c *Cache) Insert(a arch.Addr, st State, data arch.BlockData) (*Line, *Vict
 		c.resvValid = false
 	}
 	*v = Line{Base: base, State: st, Data: data, lastUse: c.clock}
-	return v, victim
+	return v, &c.victim
 }
 
 // Invalidate drops the block containing a, returning its former contents
 // (nil if not present). It clears a matching LL reservation, implementing
-// the paper's INV reservation semantics.
+// the paper's INV reservation semantics. The returned victim points at
+// scratch space inside the cache and is overwritten by the next Insert or
+// Invalidate.
 func (c *Cache) Invalidate(a arch.Addr) *Victim {
 	base := arch.BlockBase(a)
 	l := c.Peek(base)
@@ -215,12 +235,12 @@ func (c *Cache) Invalidate(a arch.Addr) *Victim {
 		}
 		return nil
 	}
-	v := &Victim{Base: l.Base, State: l.State, Data: l.Data}
+	c.victim = Victim{Base: l.Base, State: l.State, Data: l.Data}
 	l.State = Invalid
 	if c.resvValid && c.resvAddr == base {
 		c.resvValid = false
 	}
-	return v
+	return &c.victim
 }
 
 // Downgrade moves an exclusive copy of the block containing a to SharedRO,

@@ -36,9 +36,23 @@ type txn struct {
 type CacheCtl struct {
 	sys   *System
 	node  mesh.NodeID
-	cache *cache.Cache
+	cache cache.Cache
 
+	// txn is the controller's only transaction storage: each processor has
+	// exactly one outstanding request, so every Issue reuses this struct
+	// instead of allocating. pending points at it while a request is in
+	// flight and is nil otherwise.
+	txn     txn
 	pending *txn
+
+	// Preallocated hooks for the per-message hot path: message delivery
+	// (recvHook, via Mesh.SendArg), request dispatch after the local
+	// controller step (startFn), and delayed responses (sendHook, carrying
+	// the reply message as the event payload). Allocated once here so
+	// steady-state traffic schedules without building closures.
+	recvHook func(any)
+	startFn  func()
+	sendHook func(any)
 
 	// llHintFail is set when a UNC/UPD load_linked under the limited
 	// reservation scheme returned a beyond-the-limit hint; the next
@@ -46,15 +60,32 @@ type CacheCtl struct {
 	llHintFail bool
 }
 
-func newCacheCtl(s *System, n mesh.NodeID) *CacheCtl {
-	return &CacheCtl{sys: s, node: n, cache: cache.New(s.cfg.Cache)}
+func (c *CacheCtl) init(s *System, n mesh.NodeID) {
+	c.sys = s
+	c.node = n
+	c.cache.Init(s.cfg.Cache)
+	c.recvHook = func(a any) { c.receive(a.(*msg)) }
+	c.startFn = func() { c.start(&c.txn) }
+	c.sendHook = func(a any) {
+		m := a.(*msg)
+		c.sys.send(c.node, m.dst, m, m.toHome)
+	}
+}
+
+// sendLater transmits m to dst one local controller step from now,
+// modeling the controller's occupancy, without allocating: the reply
+// carries its own routing and rides a (hook, payload) event.
+func (c *CacheCtl) sendLater(m *msg, dst mesh.NodeID, toHome bool) {
+	m.dst = dst
+	m.toHome = toHome
+	c.sys.eng.AfterArg(c.sys.cfg.CacheHitTime, c.sendHook, m)
 }
 
 // Node returns the controller's node id.
 func (c *CacheCtl) Node() mesh.NodeID { return c.node }
 
 // CacheArray exposes the underlying cache (tests and invariant checks).
-func (c *CacheCtl) CacheArray() *cache.Cache { return c.cache }
+func (c *CacheCtl) CacheArray() *cache.Cache { return &c.cache }
 
 // Busy reports whether a processor request is outstanding.
 func (c *CacheCtl) Busy() bool { return c.pending != nil }
@@ -68,14 +99,17 @@ func (c *CacheCtl) Issue(req Request) {
 	}
 	arch.CheckWordAligned(req.Addr)
 	c.sys.counters.Requests++
-	c.sys.trace(c.node, "issue", "%v addr=%#x val=%d,%d", req.Op, req.Addr, req.Val, req.Val2)
-	t := &txn{req: req}
+	if c.sys.tracer != nil {
+		c.sys.trace(c.node, "issue", "%v addr=%#x val=%d,%d", req.Op, req.Addr, req.Val, req.Val2)
+	}
+	t := &c.txn
+	*t = txn{req: req}
 	if c.sys.cfg.Track && req.Op.IsAtomic() {
 		c.sys.contention.Begin(stats.Location(req.Addr), int(c.node))
 		t.tracking = true
 	}
 	c.pending = t
-	c.sys.eng.After(c.sys.cfg.CacheHitTime, func() { c.start(t) })
+	c.sys.eng.After(c.sys.cfg.CacheHitTime, c.startFn)
 }
 
 // complete finishes the outstanding transaction and delivers the result.
@@ -90,9 +124,11 @@ func (c *CacheCtl) complete(t *txn, r Result) {
 	if r.Chain == 0 {
 		c.sys.counters.LocalHits++
 	}
-	c.sys.trace(c.node, "complete", "%v addr=%#x value=%d ok=%v chain=%d",
-		t.req.Op, t.req.Addr, r.Value, r.OK, r.Chain)
-	c.sys.chains.Record(t.req.Op.String()+"/"+c.sys.PolicyOf(t.req.Addr).String(), r.Chain)
+	if c.sys.tracer != nil {
+		c.sys.trace(c.node, "complete", "%v addr=%#x value=%d ok=%v chain=%d",
+			t.req.Op, t.req.Addr, r.Value, r.OK, r.Chain)
+	}
+	c.sys.chains.RecordAt(int(t.req.Op), int(c.sys.PolicyOf(t.req.Addr)), r.Chain)
 	if t.req.Done != nil {
 		t.req.Done(r)
 	}
@@ -114,7 +150,8 @@ func (c *CacheCtl) start(t *txn) {
 
 // request constructs the base request message for the transaction.
 func (c *CacheCtl) request(t *txn, kind msgKind) *msg {
-	return &msg{
+	m := c.sys.newMsg()
+	*m = msg{
 		kind:      kind,
 		addr:      t.req.Addr,
 		requester: c.node,
@@ -122,6 +159,7 @@ func (c *CacheCtl) request(t *txn, kind msgKind) *msg {
 		val:       t.req.Val,
 		val2:      t.req.Val2,
 	}
+	return m
 }
 
 func (c *CacheCtl) toHome(t *txn, kind msgKind) {
@@ -256,14 +294,15 @@ func (c *CacheCtl) dropINV(a arch.Addr) {
 	if v == nil {
 		return
 	}
-	c.evictVictim(&cache.Victim{Base: v.Base, State: v.State, Data: v.Data})
+	c.evictVictim(v)
 }
 
 // evictVictim notifies the home about a line displaced by a fill, a
 // drop_copy, or an eviction.
 func (c *CacheCtl) evictVictim(v *cache.Victim) {
 	home := c.sys.HomeOf(v.Base)
-	m := &msg{addr: v.Base, requester: c.node}
+	m := c.sys.newMsg()
+	*m = msg{addr: v.Base, requester: c.node}
 	if v.State == cache.ExclusiveRW {
 		m.kind = mWB
 		m.data = v.Data
@@ -352,10 +391,12 @@ func (c *CacheCtl) retry(t *txn) {
 	t.granted = false
 	t.needAcks = 0
 	t.acks = 0
-	c.sys.eng.After(delay, func() { c.start(t) })
+	c.sys.eng.After(delay, c.startFn)
 }
 
-// receive dispatches an incoming protocol message.
+// receive dispatches an incoming protocol message. The cache controller
+// consumes every message it is delivered (responses are built eagerly, not
+// captured in callbacks), so the message is recycled when dispatch returns.
 func (c *CacheCtl) receive(m *msg) {
 	switch m.kind {
 	case mInval:
@@ -389,6 +430,7 @@ func (c *CacheCtl) receive(m *msg) {
 	default:
 		panic(fmt.Sprintf("core: cache %d received %v", c.node, m.kind))
 	}
+	c.sys.freeMsg(m)
 }
 
 // mustPending returns the outstanding transaction, which must exist and
@@ -413,11 +455,9 @@ func (c *CacheCtl) handleInval(m *msg) {
 	if v != nil && v.State == cache.ExclusiveRW {
 		panic(fmt.Sprintf("core: node %d invalidated while owning %#x", c.node, m.addr))
 	}
-	c.sys.eng.After(c.sys.cfg.CacheHitTime, func() {
-		c.sys.send(c.node, m.requester, &msg{
-			kind: mInvAck, addr: m.addr, requester: m.requester, chain: m.chain,
-		}, false)
-	})
+	ack := c.sys.newMsg()
+	*ack = msg{kind: mInvAck, addr: m.addr, requester: m.requester, chain: m.chain}
+	c.sendLater(ack, m.requester, false)
 }
 
 func (c *CacheCtl) handleRecall(m *msg) {
@@ -425,12 +465,13 @@ func (c *CacheCtl) handleRecall(m *msg) {
 	home := c.sys.HomeOf(m.addr)
 	if l == nil || l.State != cache.ExclusiveRW {
 		// Our write-back or drop is in flight; tell the home to wait for it.
-		c.sys.send(c.node, home, &msg{
-			kind: mRecallNak, addr: m.addr, requester: m.requester, chain: m.chain,
-		}, true)
+		nak := c.sys.newMsg()
+		*nak = msg{kind: mRecallNak, addr: m.addr, requester: m.requester, chain: m.chain}
+		c.sys.send(c.node, home, nak, true)
 		return
 	}
-	reply := &msg{addr: m.addr, requester: m.requester, data: l.Data, hasData: true, chain: m.chain}
+	reply := c.sys.newMsg()
+	*reply = msg{addr: m.addr, requester: m.requester, data: l.Data, hasData: true, chain: m.chain}
 	if m.kind == mRecallE {
 		c.cache.Invalidate(m.addr)
 		reply.kind = mWBRecall
@@ -439,7 +480,7 @@ func (c *CacheCtl) handleRecall(m *msg) {
 		reply.kind = mWBShare
 	}
 	c.sys.counters.Writebacks++
-	c.sys.eng.After(c.sys.cfg.CacheHitTime, func() { c.sys.send(c.node, home, reply, true) })
+	c.sendLater(reply, home, true)
 }
 
 // handleCASFwd performs the owner-side comparison of the INVd/INVs
@@ -448,9 +489,9 @@ func (c *CacheCtl) handleCASFwd(m *msg) {
 	l := c.cache.Peek(m.addr)
 	home := c.sys.HomeOf(m.addr)
 	if l == nil || l.State != cache.ExclusiveRW {
-		c.sys.send(c.node, home, &msg{
-			kind: mRecallNak, addr: m.addr, requester: m.requester, chain: m.chain,
-		}, true)
+		nak := c.sys.newMsg()
+		*nak = msg{kind: mRecallNak, addr: m.addr, requester: m.requester, chain: m.chain}
+		c.sys.send(c.node, home, nak, true)
 		return
 	}
 	old := l.Word(m.addr)
@@ -460,12 +501,12 @@ func (c *CacheCtl) handleCASFwd(m *msg) {
 		// copy, exactly as in plain INV.
 		c.cache.Invalidate(m.addr)
 		c.sys.counters.Writebacks++
-		c.sys.eng.After(c.sys.cfg.CacheHitTime, func() {
-			c.sys.send(c.node, home, &msg{
-				kind: mWBRecall, addr: m.addr, requester: m.requester,
-				data: l.Data, hasData: true, casOK: true, chain: m.chain,
-			}, true)
-		})
+		wb := c.sys.newMsg()
+		*wb = msg{
+			kind: mWBRecall, addr: m.addr, requester: m.requester,
+			data: l.Data, hasData: true, casOK: true, chain: m.chain,
+		}
+		c.sendLater(wb, home, true)
 		return
 	}
 	// Comparison fails: the line stays put.
@@ -473,34 +514,30 @@ func (c *CacheCtl) handleCASFwd(m *msg) {
 		// INVs: give the requester a read-only copy via the home.
 		c.cache.Downgrade(m.addr)
 		c.sys.counters.Writebacks++
-		c.sys.eng.After(c.sys.cfg.CacheHitTime, func() {
-			c.sys.send(c.node, home, &msg{
-				kind: mWBShare, addr: m.addr, requester: m.requester,
-				data: l.Data, hasData: true, casFail: true, chain: m.chain,
-			}, true)
-		})
+		wb := c.sys.newMsg()
+		*wb = msg{
+			kind: mWBShare, addr: m.addr, requester: m.requester,
+			data: l.Data, hasData: true, casFail: true, chain: m.chain,
+		}
+		c.sendLater(wb, home, true)
 		return
 	}
 	// INVd: deny directly; separately release the home's busy state.
-	c.sys.eng.After(c.sys.cfg.CacheHitTime, func() {
-		c.sys.send(c.node, m.requester, &msg{
-			kind: mCASFail, addr: m.addr, requester: m.requester, val: old, chain: m.chain,
-		}, false)
-		c.sys.send(c.node, home, &msg{
-			kind: mCASRel, addr: m.addr, requester: m.requester,
-		}, true)
-	})
+	fail := c.sys.newMsg()
+	*fail = msg{kind: mCASFail, addr: m.addr, requester: m.requester, val: old, chain: m.chain}
+	c.sendLater(fail, m.requester, false)
+	rel := c.sys.newMsg()
+	*rel = msg{kind: mCASRel, addr: m.addr, requester: m.requester}
+	c.sendLater(rel, home, true)
 }
 
 func (c *CacheCtl) handleUpdate(m *msg) {
 	if l := c.cache.Peek(m.addr); l != nil {
 		l.SetWord(m.addr, m.updWord)
 	}
-	c.sys.eng.After(c.sys.cfg.CacheHitTime, func() {
-		c.sys.send(c.node, m.requester, &msg{
-			kind: mUpdAck, addr: m.addr, requester: m.requester, chain: m.chain,
-		}, false)
-	})
+	ack := c.sys.newMsg()
+	*ack = msg{kind: mUpdAck, addr: m.addr, requester: m.requester, chain: m.chain}
+	c.sendLater(ack, m.requester, false)
 }
 
 func (c *CacheCtl) handleAck(m *msg) {

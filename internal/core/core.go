@@ -228,6 +228,16 @@ type Counters struct {
 	SCFailLocal uint64 // store_conditionals failed without network traffic
 }
 
+// Policy-table geometry: policies are kept in a two-level page table
+// indexed by block number — one pointer load plus one byte load per lookup,
+// replacing a map hash on every memory reference. A page covers 4 KiB of
+// address space (128 blocks); pages materialize on the first SetPolicy that
+// touches them, and absent pages read as PolicyINV.
+const (
+	policyPageShift  = 12
+	policyPageBlocks = (1 << policyPageShift) / arch.BlockBytes
+)
+
 // System is the collection of cache controllers and home controllers over
 // one machine's substrates. All methods must be called from the simulation
 // engine's event loop (or before it starts).
@@ -238,7 +248,11 @@ type System struct {
 	caches []*CacheCtl
 	homes  []*HomeCtl
 
-	policy map[arch.Addr]Policy // block base -> policy; absent = PolicyINV
+	policyPages [][]Policy // page -> per-block policy; nil page = PolicyINV
+
+	// msgPool recycles protocol messages (see msg.go); steady-state
+	// request/reply/coherence traffic allocates no *msg.
+	msgPool []*msg
 
 	counters   Counters
 	chains     *stats.ChainRecorder
@@ -276,20 +290,26 @@ func NewSystem(eng *sim.Engine, net *mesh.Mesh, cfg Config) *System {
 		panic("core: more nodes than mesh positions")
 	}
 	s := &System{
-		cfg:        cfg,
-		eng:        eng,
-		mesh:       net,
-		policy:     make(map[arch.Addr]Policy),
-		chains:     stats.NewChainRecorder(),
+		cfg: cfg,
+		eng: eng,
+		mesh: net,
+		chains: stats.NewChainGrid(len(opNames), 3, func(op, pol int) string {
+			return OpKind(op).String() + "/" + Policy(pol).String()
+		}),
 		contention: stats.NewContentionTracker(),
 		writeRuns:  stats.NewWriteRunTracker(),
 		syncLocs:   make(map[arch.Addr]bool),
 	}
+	// Controllers live in two slabs; the pointer slices index into them.
+	ccs := make([]CacheCtl, cfg.Nodes)
+	hcs := make([]HomeCtl, cfg.Nodes)
 	s.caches = make([]*CacheCtl, cfg.Nodes)
 	s.homes = make([]*HomeCtl, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		s.caches[n] = newCacheCtl(s, mesh.NodeID(n))
-		s.homes[n] = newHomeCtl(s, mesh.NodeID(n))
+		s.caches[n] = &ccs[n]
+		s.homes[n] = &hcs[n]
+		s.caches[n].init(s, mesh.NodeID(n))
+		s.homes[n].init(s, mesh.NodeID(n))
 	}
 	return s
 }
@@ -316,19 +336,32 @@ func (s *System) HomeOf(a arch.Addr) mesh.NodeID {
 // be called before any reference to the block (policy changes with data in
 // flight are not modeled; real machines would flush first).
 func (s *System) SetPolicy(a arch.Addr, p Policy) {
-	s.policy[arch.BlockBase(a)] = p
+	page := uint32(a) >> policyPageShift
+	if int(page) >= len(s.policyPages) {
+		grown := make([][]Policy, page+1)
+		copy(grown, s.policyPages)
+		s.policyPages = grown
+	}
+	if s.policyPages[page] == nil {
+		s.policyPages[page] = make([]Policy, policyPageBlocks)
+	}
+	s.policyPages[page][arch.BlockNumber(a)%policyPageBlocks] = p
 }
 
 // SetPolicyRange assigns a policy to every block overlapping [a, a+size).
 func (s *System) SetPolicyRange(a arch.Addr, size uint32, p Policy) {
 	for b := arch.BlockBase(a); b < a+arch.Addr(size); b += arch.BlockBytes {
-		s.policy[b] = p
+		s.SetPolicy(b, p)
 	}
 }
 
 // PolicyOf returns the coherence policy of the block containing a.
 func (s *System) PolicyOf(a arch.Addr) Policy {
-	return s.policy[arch.BlockBase(a)]
+	page := uint32(a) >> policyPageShift
+	if int(page) >= len(s.policyPages) || s.policyPages[page] == nil {
+		return PolicyINV
+	}
+	return s.policyPages[page][arch.BlockNumber(a)%policyPageBlocks]
 }
 
 // Counters returns a snapshot of the protocol counters.

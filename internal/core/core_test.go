@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"dsm/internal/arch"
@@ -65,12 +66,19 @@ func (h *H) doReq(node int, req Request) Result {
 }
 
 // doAll issues one request per entry concurrently and runs to completion.
+// Requests are issued in ascending node order so concurrent rounds are
+// deterministic (map iteration order must not leak into event ordering).
 func (h *H) doAll(reqs map[int]Request) map[int]Result {
 	h.t.Helper()
+	nodes := make([]int, 0, len(reqs))
+	for node := range reqs {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
 	out := make(map[int]Result, len(reqs))
 	remaining := len(reqs)
-	for node, req := range reqs {
-		node, req := node, req
+	for _, node := range nodes {
+		node, req := node, reqs[node]
 		userDone := req.Done
 		req.Done = func(r Result) {
 			out[node] = r

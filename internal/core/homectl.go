@@ -12,7 +12,8 @@ import (
 // homeTxn is the home controller's per-block transient state: an
 // outstanding recall (awaiting data or a negative answer from the owner),
 // or a wait for an in-flight write-back after a recall found the owner's
-// copy already gone.
+// copy already gone. The retained request message (orig) is owned by this
+// record until it is replayed or freed.
 type homeTxn struct {
 	owner mesh.NodeID // node the data must come from
 	orig  *msg        // request to replay when the data arrives; nil for awaitWB
@@ -24,42 +25,57 @@ type homeTxn struct {
 type HomeCtl struct {
 	sys  *System
 	node mesh.NodeID
-	mod  *mem.Module
-	dir  *dir.Directory
-	busy map[arch.Addr]*homeTxn // block base -> in-flight transaction
+	mod  mem.Module
+	dir  dir.Directory
+	busy map[arch.Addr]homeTxn // block base -> in-flight transaction
+
+	// Preallocated hooks: recvHook receives a delivered message (via
+	// Mesh.SendArg); processHook runs it after the memory-bank queue delay
+	// (via Module.AccessArg). Allocated once so steady-state traffic
+	// schedules without building closures.
+	recvHook    func(any)
+	processHook func(any)
+
+	// retained marks that the request handler took ownership of the message
+	// it was dispatched (recall stored it in busy); see dispatchRequest.
+	retained bool
 }
 
-func newHomeCtl(s *System, n mesh.NodeID) *HomeCtl {
-	return &HomeCtl{
-		sys:  s,
-		node: n,
-		mod:  mem.New(s.eng, s.cfg.Mem),
-		dir:  dir.New(),
-		busy: make(map[arch.Addr]*homeTxn),
-	}
+func (h *HomeCtl) init(s *System, n mesh.NodeID) {
+	h.sys = s
+	h.node = n
+	h.mod.Init(s.eng, s.cfg.Mem)
+	h.dir.Init()
+	h.busy = make(map[arch.Addr]homeTxn)
+	h.recvHook = func(a any) { h.receive(a.(*msg)) }
+	h.processHook = func(a any) { h.process(a.(*msg)) }
 }
 
 // Node returns the controller's node id.
 func (h *HomeCtl) Node() mesh.NodeID { return h.node }
 
 // Memory exposes the underlying module (allocation, tests, and debugging).
-func (h *HomeCtl) Memory() *mem.Module { return h.mod }
+func (h *HomeCtl) Memory() *mem.Module { return &h.mod }
 
 // Directory exposes the directory (tests and invariant checks).
-func (h *HomeCtl) Directory() *dir.Directory { return h.dir }
+func (h *HomeCtl) Directory() *dir.Directory { return &h.dir }
 
 // receive queues the message through the memory bank: every home-side
 // action costs one (queued) memory access, which is how memory contention
 // enters the model.
 func (h *HomeCtl) receive(m *msg) {
-	h.mod.Access(func() { h.process(m) })
+	h.mod.AccessArg(h.processHook, m)
 }
 
+// process dispatches one message and recycles it. Request kinds go through
+// dispatchRequest, which knows a recall may retain the request; every other
+// kind is fully consumed here.
 func (h *HomeCtl) process(m *msg) {
 	base := arch.BlockBase(m.addr)
 	switch m.kind {
 	case mRead, mReadEx, mSCHome, mCASHome, mUncOp, mUpdRead, mUpdOp:
-		h.handleRequest(m, base)
+		h.dispatchRequest(m, base)
+		return
 	case mWB, mWBRecall, mWBShare:
 		h.handleDataReturn(m, base)
 	case mDropS:
@@ -70,6 +86,17 @@ func (h *HomeCtl) process(m *msg) {
 		h.handleCASRel(m, base)
 	default:
 		panic(fmt.Sprintf("core: home %d received %v", h.node, m.kind))
+	}
+	h.sys.freeMsg(m)
+}
+
+// dispatchRequest runs a (possibly replayed) request and recycles it unless
+// the handler retained it in the busy state for a later replay.
+func (h *HomeCtl) dispatchRequest(m *msg, base arch.Addr) {
+	h.retained = false
+	h.handleRequest(m, base)
+	if !h.retained {
+		h.sys.freeMsg(m)
 	}
 }
 
@@ -83,14 +110,19 @@ func (h *HomeCtl) reply(m *msg, r *msg) {
 }
 
 func (h *HomeCtl) nak(m *msg) {
-	h.reply(m, &msg{kind: mNak})
+	r := h.sys.newMsg()
+	*r = msg{kind: mNak}
+	h.reply(m, r)
 }
 
 // recall puts the block in the busy state and asks the current owner for
-// the data (or, for mCASFwd, for an owner-side comparison).
+// the data (or, for mCASFwd, for an owner-side comparison). It takes
+// ownership of m, holding it for replay when the data arrives.
 func (h *HomeCtl) recall(m *msg, base arch.Addr, owner mesh.NodeID, kind msgKind) {
-	h.busy[base] = &homeTxn{owner: owner, orig: m}
-	fwd := &msg{
+	h.busy[base] = homeTxn{owner: owner, orig: m}
+	h.retained = true
+	fwd := h.sys.newMsg()
+	*fwd = msg{
 		kind: kind, addr: m.addr, requester: m.requester,
 		forwardVal: m.val, forwardV2: m.val2, chain: m.chain,
 	}
@@ -98,7 +130,7 @@ func (h *HomeCtl) recall(m *msg, base arch.Addr, owner mesh.NodeID, kind msgKind
 }
 
 func (h *HomeCtl) handleRequest(m *msg, base arch.Addr) {
-	if h.busy[base] != nil {
+	if _, inFlight := h.busy[base]; inFlight {
 		h.nak(m)
 		return
 	}
@@ -129,7 +161,9 @@ func (h *HomeCtl) handleRead(m *msg, base arch.Addr, e *dir.Entry) {
 	case dir.Unowned, dir.Shared:
 		e.State = dir.Shared
 		e.Sharers.Add(m.requester)
-		h.reply(m, &msg{kind: mDataS, data: h.mod.ReadBlock(base), hasData: true})
+		r := h.sys.newMsg()
+		*r = msg{kind: mDataS, data: h.mod.ReadBlock(base), hasData: true}
+		h.reply(m, r)
 	case dir.Exclusive:
 		if e.Owner == m.requester {
 			// The requester's write-back is in flight; retry until it lands.
@@ -164,25 +198,27 @@ func (h *HomeCtl) handleReadEx(m *msg, base arch.Addr, e *dir.Entry) {
 // acknowledge directly to the requester; the grant carries the expected
 // acknowledgment count. scGrant marks a store_conditional success grant.
 func (h *HomeCtl) grantExclusive(m *msg, base arch.Addr, e *dir.Entry, scGrant bool) {
-	var others []mesh.NodeID
-	e.Sharers.ForEach(func(n mesh.NodeID) {
-		if n != m.requester {
-			others = append(others, n)
+	others := e.Sharers
+	others.Remove(m.requester)
+	acks := others.Count()
+	for bits, n := uint64(others), mesh.NodeID(0); bits != 0; bits, n = bits>>1, n+1 {
+		if bits&1 == 0 {
+			continue
 		}
-	})
-	for _, n := range others {
 		h.sys.counters.Invals++
-		h.sys.send(h.node, n, &msg{
-			kind: mInval, addr: m.addr, requester: m.requester, chain: m.chain,
-		}, false)
+		inv := h.sys.newMsg()
+		*inv = msg{kind: mInval, addr: m.addr, requester: m.requester, chain: m.chain}
+		h.sys.send(h.node, n, inv, false)
 	}
 	e.State = dir.Exclusive
 	e.Sharers = 0
 	e.Owner = m.requester
-	h.reply(m, &msg{
+	r := h.sys.newMsg()
+	*r = msg{
 		kind: mDataE, data: h.mod.ReadBlock(base), hasData: true,
-		acks: len(others), ok: scGrant,
-	})
+		acks: acks, ok: scGrant,
+	}
+	h.reply(m, r)
 }
 
 func (h *HomeCtl) handleSCHome(m *msg, base arch.Addr, e *dir.Entry) {
@@ -193,7 +229,9 @@ func (h *HomeCtl) handleSCHome(m *msg, base arch.Addr, e *dir.Entry) {
 		return
 	}
 	// Exclusive elsewhere or unowned: fail, per the paper's protocol.
-	h.reply(m, &msg{kind: mSCFail})
+	r := h.sys.newMsg()
+	*r = msg{kind: mSCFail}
+	h.reply(m, r)
 }
 
 func (h *HomeCtl) handleCASHome(m *msg, base arch.Addr, e *dir.Entry) {
@@ -206,7 +244,8 @@ func (h *HomeCtl) handleCASHome(m *msg, base arch.Addr, e *dir.Entry) {
 			h.grantExclusive(m, base, e, false)
 			return
 		}
-		fail := &msg{kind: mCASFail, val: old}
+		fail := h.sys.newMsg()
+		*fail = msg{kind: mCASFail, val: old}
 		if h.sys.cfg.CAS == CASShare {
 			e.State = dir.Shared
 			e.Sharers.Add(m.requester)
@@ -231,7 +270,7 @@ func (h *HomeCtl) handleCASHome(m *msg, base arch.Addr, e *dir.Entry) {
 // recalls and forwarded CAS comparisons.
 func (h *HomeCtl) handleDataReturn(m *msg, base arch.Addr) {
 	e := h.dir.Entry(base)
-	if t := h.busy[base]; t != nil {
+	if t, inFlight := h.busy[base]; inFlight {
 		if m.src != t.owner {
 			panic(fmt.Sprintf("core: home %d got %v for busy %#x from %d, expected %d",
 				h.node, m.kind, base, m.src, t.owner))
@@ -251,12 +290,13 @@ func (h *HomeCtl) handleDataReturn(m *msg, base arch.Addr) {
 		delete(h.busy, base)
 		e.Check(base)
 		if t.orig != nil {
-			// Replay the waiting request against the refreshed directory
+			// Replay the retained request against the refreshed directory
 			// state; the chain accumulated so far carries over, giving the
 			// paper's 4-serialized-message remote-exclusive store path.
-			orig := *t.orig
+			// dispatchRequest recycles it unless a second recall retains it.
+			orig := t.orig
 			orig.chain = m.chain
-			h.handleRequest(&orig, base)
+			h.dispatchRequest(orig, base)
 		}
 		return
 	}
@@ -287,8 +327,8 @@ func (h *HomeCtl) handleDropS(m *msg, base arch.Addr) {
 }
 
 func (h *HomeCtl) handleRecallNak(m *msg, base arch.Addr) {
-	t := h.busy[base]
-	if t == nil || t.owner != m.src || t.orig == nil {
+	t, inFlight := h.busy[base]
+	if !inFlight || t.owner != m.src || t.orig == nil {
 		// Stale: the write-back arrived first and completed the recall.
 		return
 	}
@@ -296,15 +336,20 @@ func (h *HomeCtl) handleRecallNak(m *msg, base arch.Addr) {
 	// waiting requester (it will retry, per the paper's drop_copy
 	// discussion) and hold the block until the write-back lands.
 	h.nak(t.orig)
+	h.sys.freeMsg(t.orig)
 	t.orig = nil
+	h.busy[base] = t
 }
 
 func (h *HomeCtl) handleCASRel(m *msg, base arch.Addr) {
-	t := h.busy[base]
-	if t == nil || t.owner != m.src {
+	t, inFlight := h.busy[base]
+	if !inFlight || t.owner != m.src {
 		return
 	}
 	// INVd failure handled entirely at the owner; ownership is unchanged.
+	if t.orig != nil {
+		h.sys.freeMsg(t.orig)
+	}
 	delete(h.busy, base)
 }
 
@@ -368,13 +413,17 @@ func (h *HomeCtl) reservations(e *dir.Entry) *dir.ResvState {
 
 func (h *HomeCtl) handleUncOp(m *msg, base arch.Addr, e *dir.Entry) {
 	val, ok, _, serial, hint := h.execMem(e, m)
-	h.reply(m, &msg{kind: mUncReply, val: val, ok: ok, serial: serial, hint: hint})
+	r := h.sys.newMsg()
+	*r = msg{kind: mUncReply, val: val, ok: ok, serial: serial, hint: hint}
+	h.reply(m, r)
 }
 
 func (h *HomeCtl) handleUpdRead(m *msg, base arch.Addr, e *dir.Entry) {
 	e.State = dir.Shared
 	e.Sharers.Add(m.requester)
-	h.reply(m, &msg{kind: mDataS, data: h.mod.ReadBlock(base), hasData: true})
+	r := h.sys.newMsg()
+	*r = msg{kind: mDataS, data: h.mod.ReadBlock(base), hasData: true}
+	h.reply(m, r)
 }
 
 func (h *HomeCtl) handleUpdOp(m *msg, base arch.Addr, e *dir.Entry) {
@@ -386,23 +435,29 @@ func (h *HomeCtl) handleUpdOp(m *msg, base arch.Addr, e *dir.Entry) {
 	// cached copy correct. This is why, under UPD, "only successful
 	// writes cause updates" (section 4.3.1).
 	if wrote && newWord != val {
-		e.Sharers.ForEach(func(n mesh.NodeID) {
-			if n == m.requester {
-				return
+		targets := e.Sharers
+		targets.Remove(m.requester)
+		acks = targets.Count()
+		for bits, n := uint64(targets), mesh.NodeID(0); bits != 0; bits, n = bits>>1, n+1 {
+			if bits&1 == 0 {
+				continue
 			}
-			acks++
 			h.sys.counters.Updates++
-			h.sys.send(h.node, n, &msg{
+			upd := h.sys.newMsg()
+			*upd = msg{
 				kind: mUpdate, addr: m.addr, requester: m.requester,
 				updWord: newWord, chain: m.chain,
-			}, false)
-		})
+			}
+			h.sys.send(h.node, n, upd, false)
+		}
 	}
 	// The requester retains (or acquires) a shared copy of the block.
 	e.State = dir.Shared
 	e.Sharers.Add(m.requester)
-	h.reply(m, &msg{
+	r := h.sys.newMsg()
+	*r = msg{
 		kind: mUpdReply, val: val, ok: ok, serial: serial, hint: hint,
 		data: h.mod.ReadBlock(base), hasData: true, acks: acks,
-	})
+	}
+	h.reply(m, r)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"dsm/internal/arch"
 	"dsm/internal/mesh"
 )
@@ -63,6 +65,13 @@ func (k msgKind) String() string {
 
 // msg is one protocol message. A single struct covers all kinds; unused
 // fields are zero.
+//
+// Messages are recycled through the owning System's free list: newMsg
+// produces one, and the controller that consumes a message returns it with
+// freeMsg. Ownership transfers with delivery — the receiver frees the
+// message unless it retains it (the home's busy state keeps the original
+// request across a recall). Every creation site fully overwrites the struct
+// (*m = msg{...}), so recycled messages carry no stale fields.
 type msg struct {
 	kind msgKind
 	addr arch.Addr   // word address of the operation (block derived)
@@ -85,6 +94,37 @@ type msg struct {
 	chain      int       // serialized network messages so far (Table 1)
 	forwardVal arch.Word // mCASFwd/mRecallE carry the original operands
 	forwardV2  arch.Word
+
+	// Delayed-send routing: a controller that must respond one local step
+	// after receiving (modeling its occupancy) builds the reply immediately
+	// and schedules it through its preallocated send hook; the reply itself
+	// carries where it is bound (see CacheCtl.sendLater).
+	dst    mesh.NodeID
+	toHome bool
+
+	freed bool // double-free guard for the pool
+}
+
+// newMsg returns a zeroed message from the free list (or a fresh one).
+func (s *System) newMsg() *msg {
+	if n := len(s.msgPool); n > 0 {
+		m := s.msgPool[n-1]
+		s.msgPool[n-1] = nil
+		s.msgPool = s.msgPool[:n-1]
+		m.freed = false
+		return m
+	}
+	return &msg{}
+}
+
+// freeMsg recycles a consumed message. Freeing the same message twice is a
+// protocol-ownership bug and panics.
+func (s *System) freeMsg(m *msg) {
+	if m.freed {
+		panic(fmt.Sprintf("core: double free of %v message for %#x", m.kind, m.addr))
+	}
+	m.freed = true
+	s.msgPool = append(s.msgPool, m)
 }
 
 // payloadBytes estimates the message payload size for flit accounting:
@@ -108,15 +148,19 @@ func (m *msg) payloadBytes() int {
 
 // send routes a message and invokes the destination controller's handler on
 // delivery, maintaining the serialized-chain count. All sends go through
-// here so chain accounting cannot be forgotten.
+// here so chain accounting cannot be forgotten. Delivery is scheduled
+// through the destination controller's preallocated receive hook, so a send
+// allocates nothing.
 func (s *System) send(src, dst mesh.NodeID, m *msg, toHome bool) {
 	m.src = src
 	m.chain += s.net(src, dst)
-	s.trace(src, "send", "%v -> n%02d addr=%#x chain=%d", m.kind, dst, m.addr, m.chain)
+	if s.tracer != nil {
+		s.trace(src, "send", "%v -> n%02d addr=%#x chain=%d", m.kind, dst, m.addr, m.chain)
+	}
 	flits := s.mesh.Flits(m.payloadBytes())
 	if toHome {
-		s.mesh.Send(src, dst, flits, func() { s.homes[dst].receive(m) })
+		s.mesh.SendArg(src, dst, flits, s.homes[dst].recvHook, m)
 	} else {
-		s.mesh.Send(src, dst, flits, func() { s.caches[dst].receive(m) })
+		s.mesh.SendArg(src, dst, flits, s.caches[dst].recvHook, m)
 	}
 }

@@ -100,7 +100,15 @@ type Directory struct {
 
 // New returns an empty directory.
 func New() *Directory {
-	return &Directory{entries: make(map[arch.Addr]*Entry)}
+	d := &Directory{}
+	d.Init()
+	return d
+}
+
+// Init (re)initializes a directory in place, for callers that embed
+// Directory by value.
+func (d *Directory) Init() {
+	d.entries = make(map[arch.Addr]*Entry)
 }
 
 // Entry returns the entry for the block containing a, creating it (Unowned)

@@ -45,9 +45,11 @@ type Machine struct {
 // barrierState implements the constant-time barrier MINT provides to the
 // synthetic applications: it enforces the intended sharing pattern without
 // perturbing the measurements (all waiters resume one cycle after the last
-// arrival).
+// arrival). The two slices ping-pong: while a release event holds one, new
+// arrivals accumulate in the other, so barrier rounds reuse their storage.
 type barrierState struct {
 	waiting []*Proc
+	spare   []*Proc
 	arrived int
 }
 
@@ -63,9 +65,13 @@ func New(cfg core.Config) *Machine {
 		allocNext: 0x1000,
 		seed:      0x5eed,
 	}
+	m.barrier.waiting = make([]*Proc, 0, cfg.Nodes)
+	m.barrier.spare = make([]*Proc, 0, cfg.Nodes)
+	ps := make([]Proc, cfg.Nodes)
 	m.procs = make([]*Proc, cfg.Nodes)
 	for i := range m.procs {
-		m.procs[i] = newProc(m, mesh.NodeID(i))
+		m.procs[i] = &ps[i]
+		m.procs[i].init(m, mesh.NodeID(i))
 	}
 	return m
 }
@@ -237,8 +243,18 @@ func (m *Machine) arriveBarrier(p *Proc) {
 	if b.arrived < m.running {
 		return
 	}
+	m.releaseBarrier()
+}
+
+// releaseBarrier resumes every waiter one cycle from now. The drained slice
+// goes back to the ping-pong pair once the release has fired; at most one
+// release is ever pending (waiters cannot re-arrive before they resume), so
+// the swap never hands out storage a pending release still holds.
+func (m *Machine) releaseBarrier() {
+	b := &m.barrier
 	waiters := b.waiting
-	b.waiting = nil
+	b.waiting = b.spare[:0]
+	b.spare = waiters
 	b.arrived = 0
 	m.eng.After(1, func() {
 		for _, w := range waiters {
@@ -254,13 +270,6 @@ func (m *Machine) procDone() {
 	// already waiting and a peer exits (programs should not mix exits
 	// with barriers, but do not deadlock if they do).
 	if m.running > 0 && m.barrier.arrived >= m.running && m.barrier.arrived > 0 {
-		waiters := m.barrier.waiting
-		m.barrier.waiting = nil
-		m.barrier.arrived = 0
-		m.eng.After(1, func() {
-			for _, w := range waiters {
-				w.step(core.Result{})
-			}
-		})
+		m.releaseBarrier()
 	}
 }

@@ -42,7 +42,7 @@ type Proc struct {
 
 	resume chan core.Result
 	action chan action
-	rng    *sim.RNG
+	rng    sim.RNG
 
 	// done and resumeFn are preallocated once per Proc so the per-operation
 	// hot path (one Done callback per memory reference, one resume callback
@@ -54,19 +54,23 @@ type Proc struct {
 	stats      ProcStats
 }
 
-func newProc(m *Machine, n mesh.NodeID) *Proc {
-	p := &Proc{m: m, node: n}
+func (p *Proc) init(m *Machine, n mesh.NodeID) {
+	p.m = m
+	p.node = n
+	p.resume = make(chan core.Result)
+	p.action = make(chan action)
 	p.done = func(res core.Result) { p.step(res) }
 	p.resumeFn = func() { p.step(core.Result{}) }
-	return p
 }
 
 // begin prepares the processor for a program and starts its goroutine. The
 // goroutine waits for the engine's first resume before touching anything.
+// The rendezvous channels are reused across programs (the previous program's
+// goroutine has exited and left them empty).
 func (p *Proc) begin(prog func(*Proc), seed uint64) {
-	p.resume = make(chan core.Result)
-	p.action = make(chan action)
-	p.rng = sim.NewRNG(seed).Fork(uint64(p.node))
+	var base sim.RNG
+	base.Seed(seed)
+	base.ForkInto(&p.rng, uint64(p.node))
 	p.lastSerial = 0
 	go func() {
 		<-p.resume
@@ -117,7 +121,7 @@ func (p *Proc) Now() sim.Time { return p.m.eng.Now() }
 
 // Rand returns this processor's private deterministic random stream (used
 // for backoff jitter and workload generation).
-func (p *Proc) Rand() *sim.RNG { return p.rng }
+func (p *Proc) Rand() *sim.RNG { return &p.rng }
 
 // Compute consumes n cycles of local computation.
 func (p *Proc) Compute(n sim.Time) {

@@ -44,7 +44,15 @@ type Module struct {
 
 // New returns an empty module with the given timing.
 func New(eng *sim.Engine, cfg Config) *Module {
-	return &Module{eng: eng, cfg: cfg, data: make(map[arch.Addr]*arch.BlockData)}
+	m := &Module{}
+	m.Init(eng, cfg)
+	return m
+}
+
+// Init (re)initializes a module in place, for callers that embed Module by
+// value.
+func (m *Module) Init(eng *sim.Engine, cfg Config) {
+	*m = Module{eng: eng, cfg: cfg, data: make(map[arch.Addr]*arch.BlockData)}
 }
 
 // Stats returns a snapshot of the activity counters.
@@ -57,15 +65,27 @@ func (m *Module) ResetStats() { m.stats = Stats{} }
 // available. Queueing and bank occupancy are modeled; the callback performs
 // the actual storage read/update at completion time.
 func (m *Module) Access(done func()) {
-	now := m.eng.Now()
-	start := now
+	m.eng.At(m.serviceTime(), done)
+}
+
+// AccessArg is Access delivering via a (handler, payload) pair: done(arg)
+// runs when the data is available. With a preallocated handler and a
+// pointer payload, enqueueing an access allocates nothing.
+func (m *Module) AccessArg(done func(any), arg any) {
+	m.eng.AtArg(m.serviceTime(), done, arg)
+}
+
+// serviceTime books one access through the bank queue and returns the
+// absolute time its data is available.
+func (m *Module) serviceTime() sim.Time {
+	start := m.eng.Now()
 	if m.busy > start {
 		m.stats.QueueWait += uint64(m.busy - start)
 		start = m.busy
 	}
 	m.busy = start + m.cfg.Occupancy
 	m.stats.Accesses++
-	m.eng.At(start+m.cfg.Latency, done)
+	return start + m.cfg.Latency
 }
 
 // block returns the storage for the block containing a, allocating it on

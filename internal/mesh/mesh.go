@@ -68,15 +68,22 @@ type Mesh struct {
 	eng    *sim.Engine
 	inject []sim.Time // per node: injection port free at
 	eject  []sim.Time // per node: ejection port free at
-	links  map[link]sim.Time
-	stats  Stats
+	// links holds, per node and outgoing direction, when that directed
+	// channel to the adjacent router is next free (ModelRouters mode).
+	// Indexed node*4+direction; a flat slice instead of a map keyed by
+	// (from, to) pairs, since hashing per hop is pure overhead.
+	links []sim.Time
+	stats Stats
 }
 
-// link is a directed channel between adjacent routers (ModelRouters mode).
-type link struct {
-	from NodeID
-	to   NodeID
-}
+// Outgoing link directions from a router (ModelRouters mode).
+const (
+	dirEast  = iota // +x
+	dirWest         // -x
+	dirSouth        // +y (row-major: higher y)
+	dirNorth        // -y
+	numDirs
+)
 
 // New creates a mesh over the given engine. It panics on a non-positive
 // geometry, which indicates a programming error in machine assembly.
@@ -90,7 +97,7 @@ func New(eng *sim.Engine, cfg Config) *Mesh {
 		eng:    eng,
 		inject: make([]sim.Time, n),
 		eject:  make([]sim.Time, n),
-		links:  make(map[link]sim.Time),
+		links:  make([]sim.Time, n*numDirs),
 	}
 }
 
@@ -100,7 +107,12 @@ func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
 // Stats returns a snapshot of the traffic counters.
 func (m *Mesh) Stats() Stats { return m.stats }
 
-// ResetStats clears the traffic counters (port reservations are kept).
+// ResetStats clears the traffic counters. Port and link reservations — the
+// times at which each injection port, ejection port, and (in ModelRouters
+// mode) internal link next becomes free — are deliberately kept: they are
+// simulation state, not statistics, and in-flight messages still occupy
+// them. Counters reset mid-run therefore exclude the waiting already
+// accumulated but remain consistent with the traffic that follows.
 func (m *Mesh) ResetStats() { m.stats = Stats{} }
 
 // Coord returns the (x, y) position of a node.
@@ -132,6 +144,20 @@ func (m *Mesh) Flits(payloadBytes int) int {
 // Same-node messages bypass the network after LocalDelay. Send panics on an
 // out-of-range node id or non-positive flit count (programming errors).
 func (m *Mesh) Send(src, dst NodeID, flits int, deliver func()) {
+	m.eng.At(m.transit(src, dst, flits), deliver)
+}
+
+// SendArg is Send delivering via a (handler, payload) pair instead of a
+// closure: on arrival it invokes deliver(arg). With a preallocated handler
+// and a pointer payload, a send allocates nothing — this is the protocol
+// layer's hot path.
+func (m *Mesh) SendArg(src, dst NodeID, flits int, deliver func(any), arg any) {
+	m.eng.AtArg(m.transit(src, dst, flits), deliver, arg)
+}
+
+// transit books the message through the ports (and, in ModelRouters mode,
+// the internal links) and returns the absolute delivery time.
+func (m *Mesh) transit(src, dst NodeID, flits int) sim.Time {
 	if int(src) < 0 || int(src) >= m.Nodes() || int(dst) < 0 || int(dst) >= m.Nodes() {
 		panic(fmt.Sprintf("mesh: send %d->%d outside %d-node mesh", src, dst, m.Nodes()))
 	}
@@ -141,8 +167,7 @@ func (m *Mesh) Send(src, dst NodeID, flits int, deliver func()) {
 	now := m.eng.Now()
 	if src == dst {
 		m.stats.LocalMsgs++
-		m.eng.At(now+m.cfg.LocalDelay, deliver)
-		return
+		return now + m.cfg.LocalDelay
 	}
 
 	hops := m.Hops(src, dst)
@@ -175,8 +200,21 @@ func (m *Mesh) Send(src, dst NodeID, flits int, deliver func()) {
 	}
 	done := ejStart + serialize
 	m.eject[dst] = done
+	return done
+}
 
-	m.eng.At(done, deliver)
+// linkStep serializes the message on one directed link (identified by the
+// current router and an outgoing direction) starting no earlier than t, and
+// returns the head flit's arrival time at the next router.
+func (m *Mesh) linkStep(cur NodeID, dir int, t, serialize sim.Time) sim.Time {
+	idx := int(cur)*numDirs + dir
+	start := t
+	if m.links[idx] > start {
+		m.stats.LinkWait += uint64(m.links[idx] - start)
+		start = m.links[idx]
+	}
+	m.links[idx] = start + serialize
+	return start + m.cfg.HopDelay
 }
 
 // routeThrough walks the dimension-order route (X then Y), serializing the
@@ -185,24 +223,25 @@ func (m *Mesh) Send(src, dst NodeID, flits int, deliver func()) {
 func (m *Mesh) routeThrough(src, dst NodeID, depart, serialize sim.Time) sim.Time {
 	t := depart
 	cur := src
-	step := func(next NodeID) {
-		l := link{from: cur, to: next}
-		start := t
-		if m.links[l] > start {
-			m.stats.LinkWait += uint64(m.links[l] - start)
-			start = m.links[l]
-		}
-		t = start + m.cfg.HopDelay
-		m.links[l] = start + serialize
-		cur = next
-	}
 	sx, sy := m.Coord(src)
 	dx, dy := m.Coord(dst)
-	for x := sx; x != dx; x += sign(dx - sx) {
-		step(NodeID(sy*m.cfg.Width + x + sign(dx-sx)))
+	xd, xdir := sign(dx-sx), dirEast
+	if dx < sx {
+		xdir = dirWest
 	}
-	for y := sy; y != dy; y += sign(dy - sy) {
-		step(NodeID((y+sign(dy-sy))*m.cfg.Width + dx))
+	for x := sx; x != dx; x += xd {
+		next := NodeID(sy*m.cfg.Width + x + xd)
+		t = m.linkStep(cur, xdir, t, serialize)
+		cur = next
+	}
+	yd, ydir := sign(dy-sy), dirSouth
+	if dy < sy {
+		ydir = dirNorth
+	}
+	for y := sy; y != dy; y += yd {
+		next := NodeID((y+yd)*m.cfg.Width + dx)
+		t = m.linkStep(cur, ydir, t, serialize)
+		cur = next
 	}
 	return t
 }

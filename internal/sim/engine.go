@@ -23,13 +23,20 @@ type Time uint64
 // schedule. Cancelling a handle after its event has run is a no-op, but a
 // handle must not be retained and cancelled after later At/After calls may
 // have reused it.
+//
+// An event carries either a plain callback (At/After) or a
+// (handler, payload) pair (AtArg/AfterArg). The latter lets callers with a
+// long-lived handler — a controller's receive method — schedule per-message
+// deliveries without allocating a closure per message.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	eng  *Engine
-	dead bool
-	idx  int32 // position in the heap; -1 when not queued
+	at    Time
+	seq   uint64
+	fn    func()
+	argFn func(any)
+	arg   any
+	eng   *Engine
+	dead  bool
+	idx   int32 // position in the heap; -1 when not queued
 }
 
 // Cancel prevents a scheduled event from running. Cancelling an event that
@@ -63,9 +70,10 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (t less
-// than Now) runs the event at the current time, preserving issue order.
-func (e *Engine) At(t Time, fn func()) *Event {
+// schedule enqueues a recycled or fresh event at absolute time t.
+// Scheduling in the past (t less than Now) runs the event at the current
+// time, preserving issue order.
+func (e *Engine) schedule(t Time) *Event {
 	if t < e.now {
 		t = e.now
 	}
@@ -80,16 +88,38 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	}
 	ev.at = t
 	ev.seq = e.seq
-	ev.fn = fn
 	e.seq++
 	e.live++
 	e.push(ev)
 	return ev
 }
 
+// At schedules fn to run at absolute time t.
+func (e *Engine) At(t Time, fn func()) *Event {
+	ev := e.schedule(t)
+	ev.fn = fn
+	return ev
+}
+
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
+}
+
+// AtArg schedules fn(arg) to run at absolute time t. Unlike At, the callback
+// and its payload travel separately, so a preallocated handler (a method
+// value created once) can be scheduled per message without building a new
+// closure each time; when arg is a pointer, the call allocates nothing.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
+	ev := e.schedule(t)
+	ev.argFn = fn
+	ev.arg = arg
+	return ev
+}
+
+// AfterArg schedules fn(arg) to run d cycles from now.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) *Event {
+	return e.AtArg(e.now+d, fn, arg)
 }
 
 // Pending reports the number of live scheduled events in O(1).
@@ -105,6 +135,8 @@ func (e *Engine) Stop() { e.stopped = true }
 // recycle returns a popped event to the free list.
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil // release the closure
+	ev.argFn = nil
+	ev.arg = nil
 	ev.dead = true
 	e.pool = append(e.pool, ev)
 }
@@ -122,8 +154,14 @@ func (e *Engine) Step() bool {
 		e.executed++
 		e.now = ev.at
 		fn := ev.fn
+		argFn := ev.argFn
+		arg := ev.arg
 		e.recycle(ev)
-		fn()
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false

@@ -10,10 +10,17 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed. A zero seed is remapped to a
 // fixed non-zero constant (xorshift state must be non-zero).
 func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator in place to the stream NewRNG(seed) produces.
+func (r *RNG) Seed(seed uint64) {
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
 	}
-	return &RNG{state: seed}
+	r.state = seed
 }
 
 // Uint64 returns the next 64 pseudo-random bits.
@@ -42,5 +49,13 @@ func (r *RNG) Float64() float64 {
 // Fork derives an independent generator, useful for giving each simulated
 // processor its own stream without cross-coupling.
 func (r *RNG) Fork(salt uint64) *RNG {
-	return NewRNG(r.Uint64() ^ (salt+1)*0xbf58476d1ce4e5b9)
+	n := &RNG{}
+	r.ForkInto(n, salt)
+	return n
+}
+
+// ForkInto seeds dst with the stream Fork(salt) would return, reusing dst's
+// storage instead of allocating.
+func (r *RNG) ForkInto(dst *RNG, salt uint64) {
+	dst.Seed(r.Uint64() ^ (salt+1)*0xbf58476d1ce4e5b9)
 }

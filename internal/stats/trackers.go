@@ -59,14 +59,17 @@ type writeRun struct {
 // location without intervening accesses — reads or writes — by any other
 // processor (Eggers & Katz; paper section 4.2).
 type WriteRunTracker struct {
-	runs map[Location]*writeRun
+	// runs holds values, not pointers: a contended location starts a new
+	// run on nearly every write, and value-map updates keep that hot path
+	// allocation-free.
+	runs map[Location]writeRun
 	hist *Histogram
 }
 
 // NewWriteRunTracker returns an empty tracker.
 func NewWriteRunTracker() *WriteRunTracker {
 	return &WriteRunTracker{
-		runs: make(map[Location]*writeRun),
+		runs: make(map[Location]writeRun),
 		hist: NewHistogram(),
 	}
 }
@@ -75,21 +78,22 @@ func NewWriteRunTracker() *WriteRunTracker {
 // writer extend the run; any access by another processor terminates it.
 // Reads by the run's own writer neither extend nor terminate.
 func (t *WriteRunTracker) Access(loc Location, proc int, write bool) {
-	r := t.runs[loc]
-	if r != nil && proc != r.writer {
+	r, live := t.runs[loc]
+	if live && proc != r.writer {
 		// Intervening access by another processor ends the run.
 		t.hist.Add(r.length)
 		delete(t.runs, loc)
-		r = nil
+		live = false
 	}
 	if !write {
 		return
 	}
-	if r == nil {
-		t.runs[loc] = &writeRun{writer: proc, length: 1}
+	if !live {
+		t.runs[loc] = writeRun{writer: proc, length: 1}
 		return
 	}
 	r.length++
+	t.runs[loc] = r
 }
 
 // Flush terminates all in-progress runs (call at end of simulation).
@@ -108,13 +112,38 @@ func (t *WriteRunTracker) Mean() float64 { return t.hist.Mean() }
 
 // ChainRecorder accumulates serialized-network-message chain lengths per
 // operation class, reproducing Table 1.
+//
+// Two recording paths coexist. Record takes an arbitrary class name and is
+// map-backed. RecordAt takes (row, column) indices into a grid declared at
+// construction (NewChainGrid) and is a flat array index — the protocol
+// layer records every completed transaction through it without building a
+// class string or hashing one. The read API (Class, Classes) presents both
+// uniformly, naming grid cells through the grid's name function.
 type ChainRecorder struct {
 	byClass map[string]*Histogram
+
+	// Grid fast path (nil/zero when constructed by NewChainRecorder).
+	rows, cols int
+	name       func(row, col int) string
+	grid       []*Histogram // rows*cols; nil cells never recorded
 }
 
-// NewChainRecorder returns an empty recorder.
+// NewChainRecorder returns an empty recorder with no grid.
 func NewChainRecorder() *ChainRecorder {
 	return &ChainRecorder{byClass: make(map[string]*Histogram)}
+}
+
+// NewChainGrid returns a recorder whose RecordAt path indexes a rows x cols
+// grid; name renders a cell's class string for the read API. Record still
+// works for out-of-grid classes.
+func NewChainGrid(rows, cols int, name func(row, col int) string) *ChainRecorder {
+	return &ChainRecorder{
+		byClass: make(map[string]*Histogram),
+		rows:    rows,
+		cols:    cols,
+		name:    name,
+		grid:    make([]*Histogram, rows*cols),
+	}
 }
 
 // Record logs a completed transaction of the given class with the given
@@ -128,14 +157,41 @@ func (c *ChainRecorder) Record(class string, chain int) {
 	h.Add(chain)
 }
 
+// RecordAt logs a completed transaction of the grid class (row, col). It is
+// the allocation-free hot path: no class string is built or hashed.
+func (c *ChainRecorder) RecordAt(row, col, chain int) {
+	i := row*c.cols + col
+	h := c.grid[i]
+	if h == nil {
+		h = NewHistogram()
+		c.grid[i] = h
+	}
+	h.Add(chain)
+}
+
 // Class returns the histogram for a class, or nil if never recorded.
-func (c *ChainRecorder) Class(class string) *Histogram { return c.byClass[class] }
+func (c *ChainRecorder) Class(class string) *Histogram {
+	if h := c.byClass[class]; h != nil {
+		return h
+	}
+	for i, h := range c.grid {
+		if h != nil && c.name(i/c.cols, i%c.cols) == class {
+			return h
+		}
+	}
+	return nil
+}
 
 // Classes returns the recorded class names (unsorted).
 func (c *ChainRecorder) Classes() []string {
-	out := make([]string, 0, len(c.byClass))
+	out := make([]string, 0, len(c.byClass)+len(c.grid))
 	for k := range c.byClass {
 		out = append(out, k)
+	}
+	for i, h := range c.grid {
+		if h != nil {
+			out = append(out, c.name(i/c.cols, i%c.cols))
+		}
 	}
 	return out
 }
