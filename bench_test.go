@@ -152,6 +152,22 @@ func BenchmarkHostEngine(b *testing.B) { hostbench.Engine(b) }
 // reporting the alloc profile of the full machine stack per event.
 func BenchmarkHostMachine(b *testing.B) { hostbench.MachineRun(b) }
 
+// BenchmarkMeshTransit measures a single mesh message across varying
+// Manhattan distances, with and without internal-router modeling. The
+// events/msg metric pins the hop-collapsed transit: one event per message
+// at any distance.
+func BenchmarkMeshTransit(b *testing.B) {
+	for _, routers := range []bool{false, true} {
+		mode := "entry-exit"
+		if routers {
+			mode = "routers"
+		}
+		for _, dist := range []int{1, 4, 7, 14} {
+			b.Run(fmt.Sprintf("%s/hops=%d", mode, dist), hostbench.MeshTransit(dist, routers))
+		}
+	}
+}
+
 // BenchmarkHostSweep measures regenerating a reduced figure-3 grid serially
 // (par=1) and with one worker per host core (par=max); the ratio is the
 // run-level parallel speedup on this host.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -85,10 +86,14 @@ func compare(oldPath, newPath string) error {
 	for _, b := range oldRep.Benchmarks {
 		oldBy[b.Name] = b
 	}
-	fmt.Printf("old: %s (%s, %d cpu)\n", oldPath, oldRep.Date, oldRep.NumCPU)
-	fmt.Printf("new: %s (%s, %d cpu)\n", newPath, newRep.Date, newRep.NumCPU)
-	if oldRep.NumCPU != newRep.NumCPU || oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
-		fmt.Println("warning: host shape differs; time deltas are not comparable")
+	fmt.Printf("old: %s (%s, %d cpu, gomaxprocs %d)\n", oldPath, oldRep.Date, oldRep.NumCPU, oldRep.GOMAXPROCS)
+	fmt.Printf("new: %s (%s, %d cpu, gomaxprocs %d)\n", newPath, newRep.Date, newRep.NumCPU, newRep.GOMAXPROCS)
+	if oldRep.NumCPU != newRep.NumCPU {
+		fmt.Println("warning: host CPU count differs; time deltas are not comparable")
+	}
+	if oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Println("warning: GOMAXPROCS differs; HostSweep par=max widths differ, so " +
+			"sweep speedup deltas reflect the width change, not the code")
 	}
 	for _, nb := range newRep.Benchmarks {
 		ob, ok := oldBy[nb.Name]
@@ -102,6 +107,28 @@ func compare(oldPath, newPath string) error {
 		fmt.Printf("\n%s: removed (only in %s)\n", name, oldPath)
 	}
 	return nil
+}
+
+// hostCPUs returns the machine's processor count. runtime.NumCPU reports
+// the CPUs usable by this process — clipped by affinity masks and cgroup
+// limits — which under a constrained runner records a shape the host does
+// not have. Count the processors the kernel reports instead, falling back
+// to runtime.NumCPU where /proc is unavailable.
+func hostCPUs() int {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.NumCPU()
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "processor") {
+			n++
+		}
+	}
+	if n == 0 {
+		return runtime.NumCPU()
+	}
+	return n
 }
 
 func main() {
@@ -131,12 +158,15 @@ func main() {
 		// One worker per core; the actual width is the gomaxprocs header
 		// field. The par=1 / par=max ratio is this host's sweep speedup.
 		{"HostSweep/par=max", hostbench.Sweep(0)},
+		{"MeshTransit/hops=1", hostbench.MeshTransit(1, false)},
+		{"MeshTransit/hops=14", hostbench.MeshTransit(14, false)},
+		{"MeshTransit/routers/hops=14", hostbench.MeshTransit(14, true)},
 	}
 
 	rep := report{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
+		NumCPU:     hostCPUs(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, bench := range benches {

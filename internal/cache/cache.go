@@ -45,6 +45,7 @@ type Line struct {
 	Data  arch.BlockData
 
 	lastUse uint64 // LRU timestamp
+	epoch   uint64 // validity generation; line is live only when it matches the cache's
 }
 
 // Word returns the word at address a, which must fall in this line.
@@ -89,6 +90,13 @@ type Cache struct {
 	clock uint64
 	stats Stats
 
+	// epoch is the current line-validity generation: a line is live only
+	// when line.epoch == epoch. Reset advances it instead of zeroing the
+	// line slab, making between-run invalidation O(1) — clearing a
+	// default-geometry cache (512 sets x 4 ways) otherwise costs ~100KB of
+	// writes, which dominates short simulations when machines are pooled.
+	epoch uint64
+
 	// Cache-side LL/SC reservation: one bit and one address register.
 	resvValid bool
 	resvAddr  arch.Addr // block base
@@ -124,6 +132,19 @@ func (c *Cache) Init(cfg Config) {
 	*c = Cache{cfg: cfg, sets: sets}
 }
 
+// Reset empties the cache without touching the line slab: it advances the
+// validity epoch (invalidating every line in O(1)), rewinds the LRU clock,
+// and clears the stats and the LL/SC reservation. A reset cache behaves
+// identically to a freshly initialized one — stale-epoch lines compare as
+// free ways and never reach the LRU victim scan, and LRU timestamps restart
+// from the same clock values a fresh cache would assign.
+func (c *Cache) Reset() {
+	c.epoch++
+	c.clock = 0
+	c.stats = Stats{}
+	c.resvValid = false
+}
+
 // Stats returns a snapshot of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
@@ -138,7 +159,7 @@ func (c *Cache) Lookup(a arch.Addr) *Line {
 	set := c.sets[c.setIndex(base)]
 	for i := range set {
 		l := &set[i]
-		if l.State != Invalid && l.Base == base {
+		if l.State != Invalid && l.epoch == c.epoch && l.Base == base {
 			c.clock++
 			l.lastUse = c.clock
 			return l
@@ -153,7 +174,7 @@ func (c *Cache) Peek(a arch.Addr) *Line {
 	set := c.sets[c.setIndex(base)]
 	for i := range set {
 		l := &set[i]
-		if l.State != Invalid && l.Base == base {
+		if l.State != Invalid && l.epoch == c.epoch && l.Base == base {
 			return l
 		}
 	}
@@ -185,18 +206,18 @@ func (c *Cache) Insert(a arch.Addr, st State, data arch.BlockData) (*Line, *Vict
 	// Same-block update in place.
 	for i := range set {
 		l := &set[i]
-		if l.State != Invalid && l.Base == base {
+		if l.State != Invalid && l.epoch == c.epoch && l.Base == base {
 			l.State = st
 			l.Data = data
 			l.lastUse = c.clock
 			return l, nil
 		}
 	}
-	// Free way.
+	// Free way (never filled, or left over from before a Reset).
 	for i := range set {
 		l := &set[i]
-		if l.State == Invalid {
-			*l = Line{Base: base, State: st, Data: data, lastUse: c.clock}
+		if l.State == Invalid || l.epoch != c.epoch {
+			*l = Line{Base: base, State: st, Data: data, lastUse: c.clock, epoch: c.epoch}
 			return l, nil
 		}
 	}
@@ -217,7 +238,7 @@ func (c *Cache) Insert(a arch.Addr, st State, data arch.BlockData) (*Line, *Vict
 		// as on real hardware).
 		c.resvValid = false
 	}
-	*v = Line{Base: base, State: st, Data: data, lastUse: c.clock}
+	*v = Line{Base: base, State: st, Data: data, lastUse: c.clock, epoch: c.epoch}
 	return v, &c.victim
 }
 
@@ -286,7 +307,7 @@ func (c *Cache) ForEach(fn func(*Line)) {
 	for si := range c.sets {
 		for wi := range c.sets[si] {
 			l := &c.sets[si][wi]
-			if l.State != Invalid {
+			if l.State != Invalid && l.epoch == c.epoch {
 				fn(l)
 			}
 		}

@@ -72,6 +72,15 @@ func (c *CacheCtl) init(s *System, n mesh.NodeID) {
 	}
 }
 
+// reset returns the controller to its post-init state for machine reuse.
+// The preallocated hooks and the cache's line slab are kept; the cache is
+// emptied by advancing its validity epoch.
+func (c *CacheCtl) reset() {
+	c.cache.Reset()
+	c.pending = nil
+	c.llHintFail = false
+}
+
 // sendLater transmits m to dst one local controller step from now,
 // modeling the controller's occupancy, without allocating: the reply
 // carries its own routing and rides a (hook, payload) event.

@@ -314,6 +314,36 @@ func NewSystem(eng *sim.Engine, net *mesh.Mesh, cfg Config) *System {
 	return s
 }
 
+// Reset returns the system to its post-NewSystem state under cfg, keeping
+// every allocation: controller slabs, cache line storage (invalidated by
+// epoch), directory and memory maps (cleared in place), the message pool,
+// and the stats trackers. It reports whether the reset was possible: cfg
+// must match the existing controllers' structure (node count, cache and
+// memory geometry); behavioral fields (CAS variant, retry delay,
+// reservation scheme, tracking) may differ and are adopted. On false the
+// system is unchanged. Reset must only be called on a quiescent system (no
+// transactions or messages in flight).
+func (s *System) Reset(cfg Config) bool {
+	if cfg.Nodes != s.cfg.Nodes || cfg.Cache != s.cfg.Cache || cfg.Mem != s.cfg.Mem {
+		return false
+	}
+	s.cfg = cfg
+	for _, pg := range s.policyPages {
+		clear(pg) // zero value is PolicyINV, the default
+	}
+	s.counters = Counters{}
+	s.chains.Reset()
+	s.contention.Reset()
+	s.writeRuns.Reset()
+	clear(s.syncLocs)
+	s.tracer = nil
+	for n := range s.caches {
+		s.caches[n].reset()
+		s.homes[n].reset()
+	}
+	return true
+}
+
 // Cache returns node n's cache controller.
 func (s *System) Cache(n mesh.NodeID) *CacheCtl { return s.caches[n] }
 

@@ -51,6 +51,22 @@ func (h *HomeCtl) init(s *System, n mesh.NodeID) {
 	h.processHook = func(a any) { h.process(a.(*msg)) }
 }
 
+// reset returns the controller to its post-init state for machine reuse,
+// keeping the preallocated hooks and map storage. Any request message still
+// retained by an in-flight transaction goes back to the pool (a quiescent
+// system has none).
+func (h *HomeCtl) reset() {
+	h.mod.Reset()
+	h.dir.Reset()
+	for base, t := range h.busy {
+		if t.orig != nil {
+			h.sys.freeMsg(t.orig)
+		}
+		delete(h.busy, base)
+	}
+	h.retained = false
+}
+
 // Node returns the controller's node id.
 func (h *HomeCtl) Node() mesh.NodeID { return h.node }
 

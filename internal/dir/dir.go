@@ -111,6 +111,12 @@ func (d *Directory) Init() {
 	d.entries = make(map[arch.Addr]*Entry)
 }
 
+// Reset forgets every entry, returning the directory to its post-Init
+// state while keeping the map's buckets allocated.
+func (d *Directory) Reset() {
+	clear(d.entries)
+}
+
 // Entry returns the entry for the block containing a, creating it (Unowned)
 // on first reference.
 func (d *Directory) Entry(a arch.Addr) *Entry {

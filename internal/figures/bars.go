@@ -8,6 +8,8 @@
 package figures
 
 import (
+	"sync"
+
 	"dsm/internal/apps"
 	"dsm/internal/core"
 	"dsm/internal/locks"
@@ -100,7 +102,36 @@ func Small() RunOpts {
 	return RunOpts{Procs: 16, Rounds: 6, TCSize: 12}
 }
 
-// NewMachine builds a machine for one bar under the given scale.
+// machinePool recycles machines between the hundreds of independent runs a
+// figure sweep performs. Machine construction dominates short runs (the
+// cache slabs alone are ~100KB per node pair), and machine.Reset restores a
+// used machine to a state that replays a fresh one cycle for cycle, so
+// reuse changes host time only. Machines of mismatched geometry (Reset
+// returns false) are simply dropped back to the GC.
+var machinePool sync.Pool
+
+// acquireMachine returns a machine configured as cfg, reusing a pooled one
+// when its structure matches.
+func acquireMachine(cfg core.Config) *machine.Machine {
+	if m, ok := machinePool.Get().(*machine.Machine); ok {
+		if m.Reset(cfg) {
+			return m
+		}
+	}
+	return machine.New(cfg)
+}
+
+// ReleaseMachine returns a machine to the reuse pool. The machine must be
+// quiescent (between runs) and must not be used by the caller afterwards.
+func ReleaseMachine(m *machine.Machine) {
+	if m != nil {
+		machinePool.Put(m)
+	}
+}
+
+// NewMachine builds (or recycles) a machine for one bar under the given
+// scale. Pair with ReleaseMachine when the machine's statistics are no
+// longer needed.
 func NewMachine(o RunOpts, b Bar) *machine.Machine {
 	cfg := core.DefaultConfig()
 	cfg.Nodes = o.Procs
@@ -111,7 +142,7 @@ func NewMachine(o RunOpts, b Bar) *machine.Machine {
 	cfg.Mesh.Width = w
 	cfg.Mesh.Height = (o.Procs + w - 1) / w
 	cfg.CAS = b.Variant
-	return machine.New(cfg)
+	return acquireMachine(cfg)
 }
 
 // Patterns returns the paper's ten sharing patterns: no contention with

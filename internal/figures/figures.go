@@ -29,7 +29,8 @@ func Table1() []Table1Row { return Table1Par(0) }
 func Table1Par(par int) []Table1Row {
 	cfg := core.DefaultConfig()
 	measureStore := func(policy core.Policy, setup func(m *machine.Machine, a arch.Addr)) int {
-		m := machine.New(cfg)
+		m := acquireMachine(cfg)
+		defer ReleaseMachine(m)
 		a := m.AllocSyncAt(9, policy) // remote home for nodes 0-2
 		if setup != nil {
 			setup(m, a)
@@ -119,6 +120,7 @@ func SyntheticFigure(app func(*machine.Machine, core.Policy, locks.Options, apps
 		bar := bars[bi]
 		m := NewMachine(o, bar)
 		res := app(m, bar.Policy, bar.Opts(), pats[pi])
+		ReleaseMachine(m)
 		grid[pi][bi] = res.AvgCycles
 	})
 	return grid, bars, pats
@@ -252,6 +254,7 @@ func Fig2(w io.Writer, o RunOpts) {
 			fmt.Fprintf(w, " %2d:%5.1f%%", lv, bucketPercent(hist, levels, lv))
 		}
 		fmt.Fprintln(w)
+		ReleaseMachine(m)
 	}
 }
 
@@ -280,9 +283,13 @@ func TCEfficiency(o RunOpts, bar Bar) float64 {
 	var t1, tp uint64
 	Sweep(2, o.Par, func(i int) {
 		if i == 0 {
-			_, t1 = RunReal(AppTClosure, single, bar)
+			m, e := RunReal(AppTClosure, single, bar)
+			ReleaseMachine(m)
+			t1 = e
 		} else {
-			_, tp = RunReal(AppTClosure, o, bar)
+			m, e := RunReal(AppTClosure, o, bar)
+			ReleaseMachine(m)
+			tp = e
 		}
 	})
 	return float64(t1) / (float64(o.Procs) * float64(tp))
@@ -299,7 +306,8 @@ func fig6Grid(o RunOpts) ([][]uint64, []Bar, []RealApp) {
 	}
 	Sweep(len(bars)*len(realApps), o.Par, func(i int) {
 		bi, ai := i/len(realApps), i%len(realApps)
-		_, elapsed := RunReal(realApps[ai], o, bars[bi])
+		m, elapsed := RunReal(realApps[ai], o, bars[bi])
+		ReleaseMachine(m)
 		grid[bi][ai] = elapsed
 	})
 	return grid, bars, realApps

@@ -13,6 +13,7 @@ import (
 	"dsm/internal/core"
 	"dsm/internal/figures"
 	"dsm/internal/locks"
+	"dsm/internal/mesh"
 	"dsm/internal/sim"
 )
 
@@ -68,6 +69,46 @@ func Sweep(par int) func(b *testing.B) {
 	}
 }
 
+// MeshTransit measures the host cost of one mesh message at a fixed
+// Manhattan distance, with internal-router link modeling on or off. Each
+// iteration sends a single message and drains the engine. Reports
+// events/msg: under hop-collapsed transit this is exactly 1 regardless of
+// distance or router modeling — the metric that would regress if per-hop
+// events ever crept back in.
+func MeshTransit(dist int, routers bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		cfg := mesh.DefaultConfig()
+		cfg.ModelRouters = routers
+		e := sim.NewEngine()
+		m := mesh.New(e, cfg)
+		// Destination at the requested distance: exhaust X first, then Y,
+		// matching the dimension-order route shape.
+		dx := dist
+		if dx > cfg.Width-1 {
+			dx = cfg.Width - 1
+		}
+		dy := dist - dx
+		if dy > cfg.Height-1 {
+			b.Fatalf("distance %d exceeds %dx%d mesh", dist, cfg.Width, cfg.Height)
+		}
+		dst := mesh.NodeID(dy*cfg.Width + dx)
+		flits := m.Flits(8)
+		delivered := 0
+		deliver := func(any) { delivered++ }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.SendArg(0, dst, flits, deliver, nil)
+			for e.Step() {
+			}
+		}
+		if delivered != b.N {
+			b.Fatalf("delivered %d of %d messages", delivered, b.N)
+		}
+		b.ReportMetric(float64(e.EventsExecuted())/float64(b.N), "events/msg")
+	}
+}
+
 // MachineRun measures one end-to-end contended-counter simulation per
 // iteration — the alloc profile of the whole machine stack (engine pool,
 // preallocated proc callbacks, protocol layer) rather than the bare engine.
@@ -81,6 +122,7 @@ func MachineRun(b *testing.B) {
 		m := figures.NewMachine(o, bar)
 		apps.CounterApp(m, bar.Policy, bar.Opts(), pat)
 		events += m.Engine().EventsExecuted()
+		figures.ReleaseMachine(m)
 	}
 	sec := b.Elapsed().Seconds()
 	if events > 0 && sec > 0 {

@@ -53,6 +53,15 @@ type barrierState struct {
 	arrived int
 }
 
+// Shared-memory allocation starts above a reserved low page, and the
+// per-processor random streams derive from a fixed default seed; Reset
+// restores both so a reused machine replays allocation and randomness
+// exactly as a fresh one would.
+const (
+	allocBase   arch.Addr = 0x1000
+	defaultSeed uint64    = 0x5eed
+)
+
 // New builds a machine. The mesh geometry must accommodate cfg.Nodes.
 func New(cfg core.Config) *Machine {
 	eng := sim.NewEngine()
@@ -62,8 +71,8 @@ func New(cfg core.Config) *Machine {
 		eng:       eng,
 		net:       net,
 		sys:       core.NewSystem(eng, net, cfg),
-		allocNext: 0x1000,
-		seed:      0x5eed,
+		allocNext: allocBase,
+		seed:      defaultSeed,
 	}
 	m.barrier.waiting = make([]*Proc, 0, cfg.Nodes)
 	m.barrier.spare = make([]*Proc, 0, cfg.Nodes)
@@ -78,6 +87,43 @@ func New(cfg core.Config) *Machine {
 
 // Default returns a machine with the paper's 64-node configuration.
 func Default() *Machine { return New(core.DefaultConfig()) }
+
+// Reset returns the machine to its post-New state under cfg — clock at
+// zero, caches, directories, and memory empty, counters cleared — while
+// keeping every allocation: the engine's event pool, the message pool, the
+// cache line slabs, and the mesh route tables. It reports whether the reset
+// was possible: cfg must structurally match the machine (node count, mesh,
+// cache and memory geometry); behavioral fields (CAS variant, reservation
+// scheme, tracking, delays) may differ. On false the machine is unchanged
+// and the caller should build a fresh one.
+//
+// A reset machine reproduces a fresh machine's execution cycle for cycle:
+// the virtual clock, event sequence numbers, allocation cursor, and RNG
+// seed all restart from their initial values. Reset must only be called
+// between runs, on a quiescent machine.
+func (m *Machine) Reset(cfg core.Config) bool {
+	if cfg.Nodes != m.cfg.Nodes || cfg.Mesh != m.cfg.Mesh {
+		return false
+	}
+	if !m.sys.Reset(cfg) {
+		return false
+	}
+	m.cfg = cfg
+	m.eng.Reset()
+	m.net.Reset()
+	m.allocNext = allocBase
+	m.seed = defaultSeed
+	m.ctxQuantum = 0
+	m.running = 0
+	m.barrier.waiting = m.barrier.waiting[:0]
+	m.barrier.spare = m.barrier.spare[:0]
+	m.barrier.arrived = 0
+	for _, p := range m.procs {
+		p.stats = ProcStats{}
+		p.lastSerial = 0
+	}
+	return true
+}
 
 // Procs returns the number of simulated processors.
 func (m *Machine) Procs() int { return m.cfg.Nodes }

@@ -61,6 +61,16 @@ func (m *Module) Stats() Stats { return m.stats }
 // ResetStats clears the activity counters.
 func (m *Module) ResetStats() { m.stats = Stats{} }
 
+// Reset returns the module to its post-Init state: bank idle, counters
+// cleared, storage empty (blocks again read as zero on first touch). The
+// map's buckets are retained, so refilling after a reset allocates only the
+// block payloads.
+func (m *Module) Reset() {
+	m.busy = 0
+	m.stats = Stats{}
+	clear(m.data)
+}
+
 // Access enqueues one memory access and schedules done when its data is
 // available. Queueing and bank occupancy are modeled; the callback performs
 // the actual storage read/update at completion time.

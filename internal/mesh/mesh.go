@@ -63,6 +63,11 @@ type Stats struct {
 // Mesh is the interconnect instance. It serializes messages through each
 // node's injection and ejection port and delivers them by scheduling events
 // on the engine.
+//
+// Transit never schedules per-hop events: a message's whole path is priced
+// at send time from tables precomputed per (src, dst) at construction, and
+// exactly one delivery event is scheduled at the computed arrival time.
+// Event count per message is therefore O(1) regardless of distance.
 type Mesh struct {
 	cfg    Config
 	eng    *sim.Engine
@@ -73,6 +78,21 @@ type Mesh struct {
 	// Indexed node*4+direction; a flat slice instead of a map keyed by
 	// (from, to) pairs, since hashing per hop is pure overhead.
 	links []sim.Time
+
+	// Tables indexed by src*Nodes()+dst, filled once at construction.
+	// hops is the dimension-order distance; headLat the head flit's
+	// contention-free pipeline latency (hops*HopDelay), so the router-off
+	// fast path prices a route with one load instead of per-send
+	// coordinate arithmetic.
+	hops    []int32
+	headLat []sim.Time
+	// In ModelRouters mode the dimension-order route of pair p is the
+	// link-index sequence routeLinks[routeOff[p]:routeOff[p+1]]; walking
+	// it replaces per-hop coordinate/direction recomputation with a flat
+	// scan over precomputed links indices.
+	routeOff   []int32
+	routeLinks []int32
+
 	stats Stats
 }
 
@@ -92,13 +112,67 @@ func New(eng *sim.Engine, cfg Config) *Mesh {
 		panic(fmt.Sprintf("mesh: invalid geometry %dx%d", cfg.Width, cfg.Height))
 	}
 	n := cfg.Width * cfg.Height
-	return &Mesh{
-		cfg:    cfg,
-		eng:    eng,
-		inject: make([]sim.Time, n),
-		eject:  make([]sim.Time, n),
-		links:  make([]sim.Time, n*numDirs),
+	m := &Mesh{
+		cfg:     cfg,
+		eng:     eng,
+		inject:  make([]sim.Time, n),
+		eject:   make([]sim.Time, n),
+		links:   make([]sim.Time, n*numDirs),
+		hops:    make([]int32, n*n),
+		headLat: make([]sim.Time, n*n),
 	}
+	for src := 0; src < n; src++ {
+		sx, sy := m.Coord(NodeID(src))
+		for dst := 0; dst < n; dst++ {
+			dx, dy := m.Coord(NodeID(dst))
+			h := abs(sx-dx) + abs(sy-dy)
+			p := src*n + dst
+			m.hops[p] = int32(h)
+			m.headLat[p] = sim.Time(h) * cfg.HopDelay
+		}
+	}
+	if cfg.ModelRouters {
+		m.buildRoutes(n)
+	}
+	return m
+}
+
+// buildRoutes precomputes, for every (src, dst) pair, the directed link
+// indices along the dimension-order route (X then Y), concatenated into one
+// slab. Only ModelRouters mode walks routes, so the tables are built only
+// then.
+func (m *Mesh) buildRoutes(n int) {
+	m.routeOff = make([]int32, n*n+1)
+	total := 0
+	for p := range m.hops {
+		total += int(m.hops[p])
+	}
+	m.routeLinks = make([]int32, 0, total)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			m.routeOff[src*n+dst] = int32(len(m.routeLinks))
+			sx, sy := m.Coord(NodeID(src))
+			dx, dy := m.Coord(NodeID(dst))
+			cur := src
+			xd, xdir := sign(dx-sx), dirEast
+			if dx < sx {
+				xdir = dirWest
+			}
+			for x := sx; x != dx; x += xd {
+				m.routeLinks = append(m.routeLinks, int32(cur*numDirs+xdir))
+				cur = sy*m.cfg.Width + x + xd
+			}
+			yd, ydir := sign(dy-sy), dirSouth
+			if dy < sy {
+				ydir = dirNorth
+			}
+			for y := sy; y != dy; y += yd {
+				m.routeLinks = append(m.routeLinks, int32(cur*numDirs+ydir))
+				cur = (y+yd)*m.cfg.Width + dx
+			}
+		}
+	}
+	m.routeOff[n*n] = int32(len(m.routeLinks))
 }
 
 // Nodes returns the number of nodes in the mesh.
@@ -115,6 +189,17 @@ func (m *Mesh) Stats() Stats { return m.stats }
 // accumulated but remain consistent with the traffic that follows.
 func (m *Mesh) ResetStats() { m.stats = Stats{} }
 
+// Reset returns the mesh to its post-New state: all port and link
+// reservations released and traffic counters cleared. The route and latency
+// tables depend only on geometry and are kept. Reset is only valid between
+// runs, with no messages in flight.
+func (m *Mesh) Reset() {
+	clear(m.inject)
+	clear(m.eject)
+	clear(m.links)
+	m.stats = Stats{}
+}
+
 // Coord returns the (x, y) position of a node.
 func (m *Mesh) Coord(n NodeID) (x, y int) {
 	return int(n) % m.cfg.Width, int(n) / m.cfg.Width
@@ -122,9 +207,7 @@ func (m *Mesh) Coord(n NodeID) (x, y int) {
 
 // Hops returns the dimension-order routing distance between two nodes.
 func (m *Mesh) Hops(a, b NodeID) int {
-	ax, ay := m.Coord(a)
-	bx, by := m.Coord(b)
-	return abs(ax-bx) + abs(ay-by)
+	return int(m.hops[int(a)*m.Nodes()+int(b)])
 }
 
 // Flits returns the number of flits occupied by a message carrying
@@ -170,10 +253,10 @@ func (m *Mesh) transit(src, dst NodeID, flits int) sim.Time {
 		return now + m.cfg.LocalDelay
 	}
 
-	hops := m.Hops(src, dst)
+	p := int(src)*m.Nodes() + int(dst)
 	m.stats.Messages++
 	m.stats.Flits += uint64(flits)
-	m.stats.HopsTotal += uint64(hops)
+	m.stats.HopsTotal += uint64(m.hops[p])
 
 	// Injection port: the message occupies the port for flits*FlitDelay.
 	injStart := now
@@ -184,12 +267,13 @@ func (m *Mesh) transit(src, dst NodeID, flits int) sim.Time {
 	serialize := sim.Time(flits) * m.cfg.FlitDelay
 	m.inject[src] = injStart + serialize
 
-	// Wormhole transit: head flit pipeline through the routers.
+	// Wormhole transit: head flit pipeline through the routers, priced
+	// from the precomputed tables.
 	var headArrive sim.Time
 	if m.cfg.ModelRouters {
-		headArrive = m.routeThrough(src, dst, injStart, serialize)
+		headArrive = m.routeThrough(p, injStart, serialize)
 	} else {
-		headArrive = injStart + sim.Time(hops)*m.cfg.HopDelay
+		headArrive = injStart + m.headLat[p]
 	}
 
 	// Ejection port: serialize the whole message out of the network.
@@ -203,45 +287,22 @@ func (m *Mesh) transit(src, dst NodeID, flits int) sim.Time {
 	return done
 }
 
-// linkStep serializes the message on one directed link (identified by the
-// current router and an outgoing direction) starting no earlier than t, and
-// returns the head flit's arrival time at the next router.
-func (m *Mesh) linkStep(cur NodeID, dir int, t, serialize sim.Time) sim.Time {
-	idx := int(cur)*numDirs + dir
-	start := t
-	if m.links[idx] > start {
-		m.stats.LinkWait += uint64(m.links[idx] - start)
-		start = m.links[idx]
-	}
-	m.links[idx] = start + serialize
-	return start + m.cfg.HopDelay
-}
-
-// routeThrough walks the dimension-order route (X then Y), serializing the
-// message on each directed link; it returns the head flit's arrival time
-// at the destination router.
-func (m *Mesh) routeThrough(src, dst NodeID, depart, serialize sim.Time) sim.Time {
+// routeThrough walks the precomputed dimension-order route of pair p,
+// serializing the message on each directed link; it returns the head
+// flit's arrival time at the destination router. This is the only per-hop
+// loop in the simulator, exists solely for the router-contention ablation,
+// and still schedules no events — contention is priced inline against the
+// link reservation times.
+func (m *Mesh) routeThrough(p int, depart, serialize sim.Time) sim.Time {
 	t := depart
-	cur := src
-	sx, sy := m.Coord(src)
-	dx, dy := m.Coord(dst)
-	xd, xdir := sign(dx-sx), dirEast
-	if dx < sx {
-		xdir = dirWest
-	}
-	for x := sx; x != dx; x += xd {
-		next := NodeID(sy*m.cfg.Width + x + xd)
-		t = m.linkStep(cur, xdir, t, serialize)
-		cur = next
-	}
-	yd, ydir := sign(dy-sy), dirSouth
-	if dy < sy {
-		ydir = dirNorth
-	}
-	for y := sy; y != dy; y += yd {
-		next := NodeID((y+yd)*m.cfg.Width + dx)
-		t = m.linkStep(cur, ydir, t, serialize)
-		cur = next
+	for _, idx := range m.routeLinks[m.routeOff[p]:m.routeOff[p+1]] {
+		start := t
+		if m.links[idx] > start {
+			m.stats.LinkWait += uint64(m.links[idx] - start)
+			start = m.links[idx]
+		}
+		m.links[idx] = start + serialize
+		t = start + m.cfg.HopDelay
 	}
 	return t
 }

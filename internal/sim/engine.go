@@ -7,14 +7,37 @@
 // total order (time, sequence number) on events.
 //
 // The engine is the simulator's hot path: every memory reference, message
-// hop, and compute delay becomes at least one event. The queue is therefore
-// a concrete 4-ary min-heap over []*Event (no container/heap interface
-// boxing) and fired or dead events are recycled through a free list, so a
-// steady-state simulation schedules events without allocating.
+// delivery, and compute delay becomes at least one event. Scheduling is a
+// two-level structure: a timing wheel of one-cycle buckets covers the near
+// future (where nearly every delay in the machine model lands — hop, flit,
+// memory, and retry delays are all tens of cycles) at amortized O(1) per
+// event, and a concrete 4-ary min-heap holds the rare events beyond the
+// wheel's horizon. Buckets are intrusive linked lists threaded through the
+// events themselves, and fired or dead events are recycled through a free
+// list, so a steady-state simulation schedules events without allocating.
 package sim
 
 // Time is the virtual clock, in processor cycles.
 type Time uint64
+
+// The timing wheel spans wheelSpan cycles of one-cycle buckets. An event
+// scheduled less than wheelSpan cycles ahead is appended to the bucket
+// (at & wheelMask) in O(1); anything farther out goes to the overflow heap.
+// Because insertion is gated on the delta, a bucket holds live events of at
+// most one distinct timestamp at any moment, and appending to the list tail
+// preserves sequence order, so draining a bucket front to back fires events
+// in exactly the heap's (time, seq) order.
+const (
+	wheelBits = 10
+	wheelSpan = 1 << wheelBits
+	wheelMask = wheelSpan - 1
+)
+
+// Event queue position markers (Event.idx).
+const (
+	idxNone  int32 = -1 // not queued
+	idxWheel int32 = -2 // in a wheel bucket
+)
 
 // Event is a callback scheduled to run at a particular virtual time.
 //
@@ -34,15 +57,18 @@ type Event struct {
 	fn    func()
 	argFn func(any)
 	arg   any
+	next  *Event // wheel bucket chain, or free-list chain
 	eng   *Engine
 	dead  bool
-	idx   int32 // position in the heap; -1 when not queued
+	idx   int32 // heap position, or idxWheel / idxNone
 }
 
 // Cancel prevents a scheduled event from running. Cancelling an event that
-// already ran (or was already cancelled) is a no-op.
+// already ran (or was already cancelled) is a no-op. Cancellation is lazy:
+// the event stays in its bucket or heap slot and is discarded when the
+// scheduler reaches it.
 func (e *Event) Cancel() {
-	if e == nil || e.dead || e.idx < 0 {
+	if e == nil || e.dead || e.idx == idxNone {
 		return
 	}
 	e.dead = true
@@ -54,21 +80,74 @@ func (e *Event) Cancel() {
 type Engine struct {
 	now      Time
 	seq      uint64
-	queue    []*Event // 4-ary min-heap ordered by (at, seq)
-	live     int      // scheduled events that have not been cancelled
-	executed uint64   // events fired since construction
-	pool     []*Event // free list of recycled events
+	live     int    // scheduled events that have not been cancelled
+	executed uint64 // events fired since construction (or the last Reset)
+	free     *Event // recycled events, chained through Event.next
+
+	// Near-future events. Bucket b holds an intrusive FIFO list
+	// (head[b]..tail[b], chained through Event.next) of the events
+	// scheduled for some time t with t & wheelMask == b and t within
+	// wheelSpan cycles of now. wheelTime is the earliest time whose bucket
+	// may still hold live entries (the scan cursor). wheelCount counts
+	// events physically present in buckets, including cancelled ones.
+	// bucketTime[b] records the timestamp bucket b was last filled for:
+	// when the clock jumps over a bucket whose events were all cancelled,
+	// the leftovers are reclaimed by the next append that finds a stale
+	// stamp (see schedule).
+	head       []*Event
+	tail       []*Event
+	bucketTime []Time
+	wheelTime  Time
+	wheelCount int
+
+	// Far-future events (at - now >= wheelSpan at scheduling time): a 4-ary
+	// min-heap ordered by (at, seq).
+	far []*Event
+
+	// forceHeap routes every event through the far heap, bypassing the
+	// wheel. The scheduler-equivalence property test uses it to run the
+	// heap-only scheduler against the wheel on identical workloads.
+	forceHeap bool
+
 	// Stopped is set by Stop and terminates Run at the next event boundary.
 	stopped bool
 }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{
+		head:       make([]*Event, wheelSpan),
+		tail:       make([]*Event, wheelSpan),
+		bucketTime: make([]Time, wheelSpan),
+	}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Reset restores the engine to its post-NewEngine state — clock at zero, no
+// pending events, counters cleared — while keeping the event free list, so
+// a reused engine schedules without allocating.
+func (e *Engine) Reset() {
+	if e.wheelCount > 0 {
+		for b := range e.head {
+			for ev := e.head[b]; ev != nil; {
+				next := ev.next
+				e.recycle(ev)
+				ev = next
+			}
+			e.head[b], e.tail[b] = nil, nil
+		}
+	}
+	for _, ev := range e.far {
+		ev.idx = idxNone
+		e.recycle(ev)
+	}
+	e.far = e.far[:0]
+	e.now, e.seq, e.live, e.executed = 0, 0, 0, 0
+	e.wheelTime, e.wheelCount = 0, 0
+	e.stopped = false
+}
 
 // schedule enqueues a recycled or fresh event at absolute time t.
 // Scheduling in the past (t less than Now) runs the event at the current
@@ -77,11 +156,10 @@ func (e *Engine) schedule(t Time) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	var ev *Event
-	if n := len(e.pool); n > 0 {
-		ev = e.pool[n-1]
-		e.pool[n-1] = nil
-		e.pool = e.pool[:n-1]
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
 		ev.dead = false
 	} else {
 		ev = &Event{eng: e}
@@ -90,7 +168,39 @@ func (e *Engine) schedule(t Time) *Event {
 	ev.seq = e.seq
 	e.seq++
 	e.live++
-	e.push(ev)
+	if t-e.now < wheelSpan && !e.forceHeap {
+		b := int(t) & wheelMask
+		if e.head[b] != nil && e.bucketTime[b] != t {
+			// The bucket still holds events from an earlier lap of the
+			// wheel. They are all cancelled — a live event would have
+			// halted the cursor at its time instead of letting the clock
+			// jump past — so reclaim them before appending.
+			for old := e.head[b]; old != nil; {
+				next := old.next
+				e.wheelCount--
+				e.recycle(old)
+				old = next
+			}
+			e.head[b], e.tail[b] = nil, nil
+		}
+		e.bucketTime[b] = t
+		ev.idx = idxWheel
+		if e.tail[b] == nil {
+			e.head[b] = ev
+		} else {
+			e.tail[b].next = ev
+		}
+		e.tail[b] = ev
+		e.wheelCount++
+		if t < e.wheelTime {
+			// The event landed behind the scan cursor (the callback running
+			// now scheduled closer than the previously-earliest bucket);
+			// its bucket was necessarily empty, so rewinding is exact.
+			e.wheelTime = t
+		}
+	} else {
+		e.push(ev)
+	}
 	return ev
 }
 
@@ -122,49 +232,128 @@ func (e *Engine) AfterArg(d Time, fn func(any), arg any) *Event {
 	return e.AtArg(e.now+d, fn, arg)
 }
 
-// Pending reports the number of live scheduled events in O(1).
+// Pending reports the number of scheduled events that have neither fired nor
+// been cancelled. It is a counter maintained by schedule/Cancel/Step, not a
+// queue traversal, so it costs O(1) regardless of how many cancelled events
+// still occupy wheel buckets or heap slots awaiting lazy removal.
 func (e *Engine) Pending() int { return e.live }
 
-// EventsExecuted reports the total number of events fired since the engine
-// was constructed (cancelled events are not counted).
+// EventsExecuted reports the number of events fired since the engine was
+// constructed or last Reset. Cancelled events are never counted, and the
+// counter is independent of the queue data structure — it advances once per
+// callback invocation in Step, whether the event came from a wheel bucket
+// or the overflow heap.
 func (e *Engine) EventsExecuted() uint64 { return e.executed }
 
 // Stop makes Run return after the event currently executing (if any).
 func (e *Engine) Stop() { e.stopped = true }
 
-// recycle returns a popped event to the free list.
+// recycle returns a consumed event to the free list.
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil // release the closure
 	ev.argFn = nil
 	ev.arg = nil
 	ev.dead = true
-	e.pool = append(e.pool, ev)
+	ev.idx = idxNone
+	ev.next = e.free
+	e.free = ev
 }
 
-// Step executes the single earliest pending event, advancing the clock to its
-// time. It reports whether an event was executed.
-func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := e.pop()
-		if ev.dead {
+// nextWheel returns the earliest live wheel event without removing it,
+// advancing the scan cursor past empty buckets and lazily discarding
+// cancelled events on the way. It returns nil when no live wheel event
+// exists. The cursor only moves forward in time (or is rewound exactly by
+// schedule), so scanning is amortized O(1) per event: each bucket is
+// visited once per wheelSpan cycles of simulated time, and every list node
+// popped here was pushed by exactly one schedule call.
+func (e *Engine) nextWheel() *Event {
+	for {
+		if e.wheelCount == 0 {
+			return nil
+		}
+		if e.wheelTime < e.now {
+			// Buckets behind the clock hold no live events (events are
+			// never scheduled in the past); fast-forward the cursor.
+			// Cancelled stragglers left behind are reclaimed by schedule
+			// when their bucket is refilled.
+			e.wheelTime = e.now
+		}
+		b := int(e.wheelTime) & wheelMask
+		for ev := e.head[b]; ev != nil; ev = e.head[b] {
+			if !ev.dead && ev.at == e.wheelTime {
+				return ev
+			}
+			// Cancelled, or a dead leftover from an earlier lap.
+			e.popWheelHead(b)
 			e.recycle(ev)
-			continue
 		}
-		e.live--
-		e.executed++
-		e.now = ev.at
-		fn := ev.fn
-		argFn := ev.argFn
-		arg := ev.arg
-		e.recycle(ev)
-		if argFn != nil {
-			argFn(arg)
-		} else {
-			fn()
-		}
-		return true
+		e.wheelTime++
 	}
-	return false
+}
+
+// popWheelHead unlinks the head event of bucket b.
+func (e *Engine) popWheelHead(b int) {
+	ev := e.head[b]
+	e.head[b] = ev.next
+	if ev.next == nil {
+		e.tail[b] = nil
+	}
+	ev.next = nil
+	e.wheelCount--
+}
+
+// nextFar returns the earliest live heap event without removing it,
+// discarding cancelled events at the top.
+func (e *Engine) nextFar() *Event {
+	for len(e.far) > 0 {
+		if !e.far[0].dead {
+			return e.far[0]
+		}
+		e.recycle(e.pop())
+	}
+	return nil
+}
+
+// next returns the earliest live event across the wheel and the heap, or
+// nil. Ties between the two structures resolve on sequence number, keeping
+// the global (time, seq) order exact.
+func (e *Engine) next() (ev *Event, fromWheel bool) {
+	w := e.nextWheel()
+	f := e.nextFar()
+	if w == nil {
+		return f, false
+	}
+	if f == nil || eventLess(w, f) {
+		return w, true
+	}
+	return f, false
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	ev, fromWheel := e.next()
+	if ev == nil {
+		return false
+	}
+	if fromWheel {
+		e.popWheelHead(int(e.wheelTime) & wheelMask)
+	} else {
+		e.pop()
+	}
+	e.live--
+	e.executed++
+	e.now = ev.at
+	fn := ev.fn
+	argFn := ev.argFn
+	arg := ev.arg
+	e.recycle(ev)
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue drains, Stop is called, or the clock
@@ -175,11 +364,8 @@ func (e *Engine) Run(limit Time) uint64 {
 	e.stopped = false
 	for !e.stopped {
 		if limit != 0 {
-			// Peek for the limit check, discarding dead events at the top.
-			for len(e.queue) > 0 && e.queue[0].dead {
-				e.recycle(e.pop())
-			}
-			if len(e.queue) == 0 || e.queue[0].at > limit {
+			ev, _ := e.next()
+			if ev == nil || ev.at > limit {
 				break
 			}
 		}
@@ -193,10 +379,12 @@ func (e *Engine) Run(limit Time) uint64 {
 
 // ------------------------------------------------------------- 4-ary heap --
 
-// The queue is a 4-ary min-heap: children of node i are 4i+1 .. 4i+4. The
-// wider fan-out roughly halves the tree depth relative to a binary heap,
-// trading a few extra comparisons per level for fewer cache-missing levels —
-// a win for the short-lived, bursty queues the machine model produces.
+// The overflow heap is a 4-ary min-heap: children of node i are 4i+1 ..
+// 4i+4. The wider fan-out roughly halves the tree depth relative to a
+// binary heap, trading a few extra comparisons per level for fewer
+// cache-missing levels. It only ever holds events scheduled at least
+// wheelSpan cycles out (plus everything, in the property test's forced-heap
+// mode), so its size stays small in the machine model.
 
 // eventLess orders events by (time, sequence); the sequence tie-break makes
 // same-cycle events run in scheduling order.
@@ -209,8 +397,8 @@ func eventLess(a, b *Event) bool {
 
 // push inserts ev, sifting it up from the bottom.
 func (e *Engine) push(ev *Event) {
-	e.queue = append(e.queue, ev)
-	q := e.queue
+	e.far = append(e.far, ev)
+	q := e.far
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) >> 2
@@ -228,22 +416,22 @@ func (e *Engine) push(ev *Event) {
 
 // pop removes and returns the minimum event.
 func (e *Engine) pop() *Event {
-	q := e.queue
+	q := e.far
 	top := q[0]
 	n := len(q) - 1
 	last := q[n]
 	q[n] = nil
-	e.queue = q[:n]
+	e.far = q[:n]
 	if n > 0 {
 		e.siftDown(last)
 	}
-	top.idx = -1
+	top.idx = idxNone
 	return top
 }
 
 // siftDown places ev (conceptually at the root) at its final position.
 func (e *Engine) siftDown(ev *Event) {
-	q := e.queue
+	q := e.far
 	n := len(q)
 	i := 0
 	for {

@@ -39,6 +39,164 @@ func TestPropertyEventsExecuteInTimeOrder(t *testing.T) {
 	}
 }
 
+// equivalenceWorkload runs one randomized workload — mixed At/AtArg/After/
+// AfterArg/Cancel, delays straddling the wheel horizon, nested scheduling
+// from inside callbacks — on a fresh engine and returns the firing trace as
+// (event id, firing time) pairs plus the executed count. With forceHeap set
+// the engine bypasses the timing wheel entirely, so the same seed exercises
+// the heap-only scheduler on the identical workload.
+func equivalenceWorkload(seed uint64, forceHeap bool) (trace []uint64, executed uint64) {
+	e := NewEngine()
+	e.forceHeap = forceHeap
+	r := NewRNG(seed)
+	nextID := uint64(0)
+	argFire := func(a any) { trace = append(trace, a.(uint64), uint64(e.Now())) }
+	var schedule func(depth int) *Event
+	schedule = func(depth int) *Event {
+		id := nextID
+		nextID++
+		// Delays from zero to well past the wheel horizon, so both the
+		// bucket path and the overflow-heap path fire in every run.
+		delay := Time(r.Intn(3 * wheelSpan))
+		switch r.Intn(4) {
+		case 0, 1:
+			fire := func() {
+				trace = append(trace, id, uint64(e.Now()))
+				if depth < 3 && r.Intn(3) == 0 {
+					child := schedule(depth + 1)
+					if r.Intn(4) == 0 {
+						child.Cancel()
+					}
+				}
+			}
+			if delay%2 == 0 {
+				return e.At(e.Now()+delay, fire)
+			}
+			return e.After(delay, fire)
+		case 2:
+			return e.AtArg(e.Now()+delay, argFire, id)
+		default:
+			return e.AfterArg(delay, argFire, id)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		ev := schedule(0)
+		if r.Intn(8) == 0 {
+			ev.Cancel()
+		}
+	}
+	e.Run(0)
+	return trace, e.EventsExecuted()
+}
+
+// TestPropertySchedulerEquivalence feeds identical randomized workloads to
+// the wheel-fronted scheduler and the heap-only scheduler and requires
+// identical firing order and EventsExecuted. This pins the tie-break
+// invariant: the wheel must preserve the heap's exact (time, seq) total
+// order, not just time order.
+func TestPropertySchedulerEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		wheelTrace, wheelN := equivalenceWorkload(seed, false)
+		heapTrace, heapN := equivalenceWorkload(seed, true)
+		if wheelN != heapN {
+			t.Logf("seed %#x: executed %d (wheel) vs %d (heap)", seed, wheelN, heapN)
+			return false
+		}
+		if len(wheelTrace) != len(heapTrace) {
+			t.Logf("seed %#x: trace length %d vs %d", seed, len(wheelTrace), len(heapTrace))
+			return false
+		}
+		for i := range wheelTrace {
+			if wheelTrace[i] != heapTrace[i] {
+				t.Logf("seed %#x: traces diverge at %d: %d vs %d",
+					seed, i, wheelTrace[i], heapTrace[i])
+				return false
+			}
+		}
+		return wheelN > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyResetReproducesFreshEngine interrupts a workload mid-run,
+// Resets the engine, and replays the workload on the same (recycled) engine;
+// the trace must match a fresh engine exactly. This is what machine reuse in
+// internal/figures depends on.
+func TestPropertyResetReproducesFreshEngine(t *testing.T) {
+	f := func(seed uint64, cut uint16) bool {
+		fresh, freshN := equivalenceWorkload(seed, false)
+
+		e := NewEngine()
+		r := NewRNG(seed ^ 0x9e3779b97f4a7c15)
+		for i := 0; i < 200; i++ {
+			d := Time(r.Intn(3 * wheelSpan))
+			ev := e.AfterArg(d, func(any) {}, nil)
+			if i%5 == 0 {
+				ev.Cancel()
+			}
+		}
+		e.Run(Time(cut)) // leave events pending
+		e.Reset()
+		if e.Now() != 0 || e.Pending() != 0 || e.EventsExecuted() != 0 {
+			return false
+		}
+
+		// Replay the reference workload on the recycled engine by hand:
+		// same generator, but reusing e instead of a fresh engine.
+		var trace []uint64
+		rr := NewRNG(seed)
+		nextID := uint64(0)
+		argFire := func(a any) { trace = append(trace, a.(uint64), uint64(e.Now())) }
+		var schedule func(depth int) *Event
+		schedule = func(depth int) *Event {
+			id := nextID
+			nextID++
+			delay := Time(rr.Intn(3 * wheelSpan))
+			switch rr.Intn(4) {
+			case 0, 1:
+				fire := func() {
+					trace = append(trace, id, uint64(e.Now()))
+					if depth < 3 && rr.Intn(3) == 0 {
+						child := schedule(depth + 1)
+						if rr.Intn(4) == 0 {
+							child.Cancel()
+						}
+					}
+				}
+				if delay%2 == 0 {
+					return e.At(e.Now()+delay, fire)
+				}
+				return e.After(delay, fire)
+			case 2:
+				return e.AtArg(e.Now()+delay, argFire, id)
+			default:
+				return e.AfterArg(delay, argFire, id)
+			}
+		}
+		for i := 0; i < 300; i++ {
+			ev := schedule(0)
+			if rr.Intn(8) == 0 {
+				ev.Cancel()
+			}
+		}
+		e.Run(0)
+		if e.EventsExecuted() != freshN || len(trace) != len(fresh) {
+			return false
+		}
+		for i := range trace {
+			if trace[i] != fresh[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestPropertyNestedSchedulingNeverTravelsBack: events scheduled from
 // inside events never run before their scheduling point.
 func TestPropertyNestedSchedulingNeverTravelsBack(t *testing.T) {

@@ -24,6 +24,13 @@ func NewHistogram() *Histogram {
 	return &Histogram{counts: make(map[int]uint64)}
 }
 
+// Reset forgets all samples, keeping the map's buckets allocated.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.total = 0
+	h.sum = 0
+}
+
 // Add records one occurrence of v.
 func (h *Histogram) Add(v int) {
 	h.counts[v]++

@@ -20,6 +20,12 @@ func NewContentionTracker() *ContentionTracker {
 	}
 }
 
+// Reset forgets all in-progress accesses and accumulated samples.
+func (t *ContentionTracker) Reset() {
+	clear(t.active)
+	t.hist.Reset()
+}
+
 // Begin records that proc started an atomic access to loc and samples the
 // current contention level.
 func (t *ContentionTracker) Begin(loc Location, proc int) {
@@ -72,6 +78,12 @@ func NewWriteRunTracker() *WriteRunTracker {
 		runs: make(map[Location]writeRun),
 		hist: NewHistogram(),
 	}
+}
+
+// Reset forgets all in-progress runs and accumulated samples.
+func (t *WriteRunTracker) Reset() {
+	clear(t.runs)
+	t.hist.Reset()
 }
 
 // Access records an access by proc to loc. Writes by the current run's
@@ -143,6 +155,16 @@ func NewChainGrid(rows, cols int, name func(row, col int) string) *ChainRecorder
 		cols:    cols,
 		name:    name,
 		grid:    make([]*Histogram, rows*cols),
+	}
+}
+
+// Reset forgets every recorded class. Grid cells return to nil so the read
+// API reports exactly the classes recorded since the reset, as on a fresh
+// recorder.
+func (c *ChainRecorder) Reset() {
+	clear(c.byClass)
+	for i := range c.grid {
+		c.grid[i] = nil
 	}
 }
 
