@@ -1,0 +1,282 @@
+// Command dsmload is a closed-loop load generator for dsmserve: N client
+// goroutines issue simulation requests back to back, drawing each request
+// from a fixed working set with probability -dup (these become cache hits
+// once warm) and from never-seen specs otherwise (these cost a real
+// simulation). It prints achieved throughput, latency percentiles, and the
+// client-observed cache-hit ratio, and with -o writes the run as JSON —
+// the serving benchmark of record (BENCH_PR4.json).
+//
+//	dsmserve &
+//	dsmload -addr http://localhost:8080 -c 32 -d 10s -dup 0.9 -o BENCH_PR4.json
+//
+// With -bench it also runs the in-process serving benchmarks
+// (serve.BenchServe*) and records them alongside the load run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsm/internal/serve"
+)
+
+// workingSet builds the duplicate pool: n specs spread across the paper's
+// design space (policy x primitive x contention), all at the reduced scale
+// the host benchmarks use. Every dsmload invocation generates the same
+// set, so back-to-back runs against a warm server hit immediately.
+func workingSet(n int) []string {
+	policies := []string{"INV", "UPD", "UNC"}
+	prims := []string{"FAP", "CAS", "LLSC"}
+	conts := []int{1, 2, 4, 8}
+	specs := make([]string, 0, n)
+	for i := 0; len(specs) < n; i++ {
+		specs = append(specs, fmt.Sprintf(
+			`{"app":"counter","policy":%q,"prim":%q,"procs":8,"c":%d,"rounds":3}`,
+			policies[i%len(policies)], prims[(i/3)%len(prims)], conts[(i/9)%len(conts)]))
+	}
+	return specs
+}
+
+// result is one request's outcome as the client saw it.
+type result struct {
+	latency time.Duration
+	status  int
+	cache   string // X-Cache header: hit, miss, coalesced ("" on error)
+}
+
+type loadStats struct {
+	Addr        string  `json:"addr"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	DupRate     float64 `json:"dup_rate"`
+	SpecSet     int     `json:"spec_set"`
+
+	Requests  uint64 `json:"requests"`
+	Failed    uint64 `json:"failed"`
+	Rejected  uint64 `json:"rejected"` // 429s (also counted in Failed)
+	Hits      uint64 `json:"hits"`
+	Coalesced uint64 `json:"coalesced"`
+	Misses    uint64 `json:"misses"`
+
+	ReqPerSec float64 `json:"req_per_sec"`
+	HitRatio  float64 `json:"hit_ratio"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type output struct {
+	Date          string          `json:"date"`
+	GoVersion     string          `json:"go_version"`
+	NumCPU        int             `json:"num_cpu"`
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	Load          loadStats       `json:"load"`
+	ServerMetrics *serve.Snapshot `json:"server_metrics,omitempty"`
+	Benchmarks    []benchResult   `json:"benchmarks,omitempty"`
+}
+
+func main() {
+	var (
+		addr  = flag.String("addr", "http://localhost:8080", "dsmserve base URL")
+		conc  = flag.Int("c", 32, "concurrent closed-loop clients")
+		dur   = flag.Duration("d", 10*time.Second, "load duration")
+		dup   = flag.Float64("dup", 0.9, "probability a request repeats the working set")
+		nset  = flag.Int("specs", 16, "working-set size (distinct duplicate specs)")
+		out   = flag.String("o", "", "write the run as JSON to this file (- for stdout)")
+		bench = flag.Bool("bench", false, "also run the in-process serve benchmarks")
+	)
+	flag.Parse()
+
+	specs := workingSet(*nset)
+	client := &http.Client{Timeout: 60 * time.Second}
+	url := strings.TrimSuffix(*addr, "/") + "/v1/sim"
+
+	// Warm-up probe: fail fast when no server is listening.
+	if _, err := issue(client, url, specs[0]); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmload: cannot reach %s: %v\n", url, err)
+		os.Exit(1)
+	}
+
+	results := make([][]result, *conc)
+	deadline := time.Now().Add(*dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			unique := uint64(w) << 32 // per-client unique-seed space
+			for time.Now().Before(deadline) {
+				var spec string
+				if rng.Float64() < *dup {
+					spec = specs[rng.Intn(len(specs))]
+				} else {
+					unique++
+					spec = fmt.Sprintf(
+						`{"app":"counter","procs":8,"c":8,"rounds":3,"seed":%d}`, unique)
+				}
+				t0 := time.Now()
+				r, err := issue(client, url, spec)
+				r.latency = time.Since(t0)
+				if err != nil {
+					r.status = 0
+				}
+				results[w] = append(results[w], r)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats := reduce(results, elapsed)
+	stats.Addr = *addr
+	stats.Concurrency = *conc
+	stats.DupRate = *dup
+	stats.SpecSet = len(specs)
+
+	fmt.Printf("dsmload: %d requests in %.2fs = %.0f req/s (%d clients, dup %.2f)\n",
+		stats.Requests, elapsed.Seconds(), stats.ReqPerSec, *conc, *dup)
+	fmt.Printf("  latency: p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		stats.P50Ms, stats.P90Ms, stats.P99Ms, stats.MaxMs)
+	fmt.Printf("  cache:   %.1f%% hits, %d coalesced, %d misses\n",
+		100*stats.HitRatio, stats.Coalesced, stats.Misses)
+	fmt.Printf("  errors:  %d failed (%d rejected with 429)\n", stats.Failed, stats.Rejected)
+
+	rep := output{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Load:       stats,
+	}
+	if snap, err := fetchMetrics(client, strings.TrimSuffix(*addr, "/")+"/metrics"); err == nil {
+		rep.ServerMetrics = snap
+	}
+	if *bench {
+		for _, b := range []struct {
+			name string
+			body func(*testing.B)
+		}{
+			{"ServeHit", serve.BenchServeHit},
+			{"ServeMiss", serve.BenchServeMiss},
+			{"ServeDup90", serve.BenchServeDup90},
+		} {
+			fmt.Fprintf(os.Stderr, "running Benchmark%s...\n", b.name)
+			r := testing.Benchmark(b.body)
+			rep.Benchmarks = append(rep.Benchmarks, benchResult{
+				Name:        b.name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				Metrics:     r.Extra,
+			})
+		}
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmload:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmload:", err)
+			os.Exit(1)
+		}
+	}
+	if stats.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// issue posts one spec and drains the response body (keep-alive requires
+// reading to EOF before reuse).
+func issue(client *http.Client, url, spec string) (result, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(spec))
+	if err != nil {
+		return result{}, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return result{status: resp.StatusCode, cache: resp.Header.Get("X-Cache")}, nil
+}
+
+func fetchMetrics(client *http.Client, url string) (*serve.Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// reduce aggregates per-client results into the run's statistics.
+func reduce(results [][]result, elapsed time.Duration) loadStats {
+	var s loadStats
+	s.DurationSec = elapsed.Seconds()
+	var lats []time.Duration
+	for _, rs := range results {
+		for _, r := range rs {
+			s.Requests++
+			lats = append(lats, r.latency)
+			switch {
+			case r.status == http.StatusOK:
+				switch r.cache {
+				case "hit":
+					s.Hits++
+				case "coalesced":
+					s.Coalesced++
+				default:
+					s.Misses++
+				}
+			case r.status == http.StatusTooManyRequests:
+				s.Rejected++
+				s.Failed++
+			default:
+				s.Failed++
+			}
+		}
+	}
+	if s.Requests > 0 {
+		s.ReqPerSec = float64(s.Requests) / elapsed.Seconds()
+		s.HitRatio = float64(s.Hits) / float64(s.Requests)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	if n := len(lats); n > 0 {
+		s.P50Ms = ms(lats[n*50/100])
+		s.P90Ms = ms(lats[min(n*90/100, n-1)])
+		s.P99Ms = ms(lats[min(n*99/100, n-1)])
+		s.MaxMs = ms(lats[n-1])
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+// Command dsmserve runs the simulation service: an HTTP API over
+// internal/serve that executes simulation specs on a bounded worker pool
+// with a content-addressed result cache and single-flight coalescing.
+//
+//	dsmserve -addr :8080 -workers 8 -queue 64 -cache 1024
+//
+//	curl -s 'localhost:8080/v1/sim?app=counter&policy=UNC&prim=FAP&procs=16&c=8'
+//	curl -s localhost:8080/v1/sim -d '{"app":"mcs","policy":"INV","prim":"CAS","ldex":true}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
+// requests and queued simulations complete, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dsm/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "queued simulations beyond the workers (0 = 64)")
+		cache   = flag.Int("cache", 0, "result cache entries, LRU beyond (0 = 1024)")
+		timeout = flag.Duration("timeout", 0, "per-request deadline (0 = 30s)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+	log.SetPrefix("dsmserve: ")
+	log.SetFlags(0)
+
+	s := serve.New(serve.Config{
+		Workers:      *workers,
+		Queue:        *queue,
+		CacheEntries: *cache,
+		Timeout:      *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, let in-flight handlers finish, then drain the
+	// worker pool so every accepted simulation gets its response.
+	log.Printf("draining (budget %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	s.Close()
+	m := s.Metrics()
+	fmt.Fprintf(os.Stderr, "dsmserve: served %d requests (%d hits, %d coalesced, %d runs), clean exit\n",
+		m.Requests, m.CacheHits, m.Coalesced, m.Runs)
+}

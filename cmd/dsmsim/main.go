@@ -1,13 +1,18 @@
 // Command dsmsim runs a single workload configuration on the simulated DSM
 // multiprocessor and prints its measurements: elapsed cycles, average
 // cycles per update, protocol counters, network traffic, the contention
-// histogram, and the average write-run length.
+// histogram, and the average write-run length. With -json the measurements
+// are emitted as one machine-readable JSON report (report.WriteJSON)
+// instead of text, and the human summary line moves to stderr.
 //
 // Examples:
 //
 //	dsmsim -app counter -policy UNC -prim FAP -c 64
 //	dsmsim -app mcs -policy INV -prim CAS -ldex -a 2
-//	dsmsim -app tclosure -prim LLSC -size 32
+//	dsmsim -app tclosure -prim LLSC -size 32 -json
+//
+// Unknown -app/-policy/-prim/-cas values are rejected with a usage message
+// and exit status 2.
 package main
 
 import (
@@ -16,13 +21,45 @@ import (
 	"os"
 
 	"dsm/internal/apps"
-	"dsm/internal/core"
 	"dsm/internal/figures"
-	"dsm/internal/locks"
-	"dsm/internal/machine"
 	"dsm/internal/report"
+	"dsm/internal/serve"
 	"dsm/internal/trace"
 )
+
+// knownApps lists the -app values main dispatches on.
+var knownApps = map[string]bool{
+	"counter": true, "tts": true, "mcs": true,
+	"tclosure": true, "locusroute": true, "cholesky": true,
+}
+
+// parseBar validates the flag values that select a bar of the paper's
+// figures and assembles them. It is separated from main so the flag
+// validation is testable without spawning a process.
+func parseBar(policy, prim, variant string, ldex, drop bool) (figures.Bar, error) {
+	var bar figures.Bar
+	pol, err := serve.ParsePolicy(policy)
+	if err != nil {
+		return bar, err
+	}
+	pr, err := serve.ParsePrim(prim)
+	if err != nil {
+		return bar, err
+	}
+	v, err := serve.ParseVariant(variant)
+	if err != nil {
+		return bar, err
+	}
+	return figures.Bar{Policy: pol, Prim: pr, Variant: v, LoadEx: ldex, Drop: drop}, nil
+}
+
+// validateApp rejects workload names main does not dispatch on.
+func validateApp(app string) error {
+	if !knownApps[app] {
+		return fmt.Errorf("unknown app %q (want counter, tts, mcs, tclosure, locusroute, or cholesky)", app)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -38,16 +75,30 @@ func main() {
 		rounds  = flag.Int("rounds", 16, "barrier-separated rounds (synthetic apps)")
 		size    = flag.Int("size", 32, "transitive-closure vertices")
 		traceN  = flag.Int("trace", 0, "print the last N protocol events")
+		asJSON  = flag.Bool("json", false, "emit the measurement report as JSON on stdout")
 	)
 	flag.Parse()
 
-	bar := figures.Bar{
-		Policy:  parsePolicy(*policy),
-		Prim:    parsePrim(*prim),
-		Variant: parseVariant(*variant),
-		LoadEx:  *ldex,
-		Drop:    *drop,
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "dsmsim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
+	if err := validateApp(*app); err != nil {
+		fail(err)
+	}
+	bar, err := parseBar(*policy, *prim, *variant, *ldex, *drop)
+	if err != nil {
+		fail(err)
+	}
+
+	// In -json mode stdout carries exactly one JSON report; the human
+	// summary and trace lines go to stderr so the output stays parseable.
+	summary := os.Stdout
+	if *asJSON {
+		summary = os.Stderr
+	}
+
 	o := figures.RunOpts{Procs: *procs, Rounds: *rounds, TCSize: *size}
 	m := figures.NewMachine(o, bar)
 	var tr *trace.Buffer
@@ -55,92 +106,52 @@ func main() {
 		tr = trace.New(*traceN)
 		m.System().SetTracer(tr)
 		defer func() {
-			fmt.Printf("last %d protocol events:\n", tr.Len())
-			tr.WriteTo(os.Stdout)
+			fmt.Fprintf(summary, "last %d protocol events:\n", tr.Len())
+			tr.WriteTo(summary)
 		}()
 	}
 	pat := apps.Pattern{Contention: *cont, WriteRun: *wrun, Rounds: *rounds}
+	stats := func() {
+		r := report.Collect(m)
+		if *asJSON {
+			if err := r.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "dsmsim: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		r.WriteText(os.Stdout)
+	}
+	printSynthetic := func(res apps.SyntheticResult) {
+		fmt.Fprintf(summary, "updates: %d, elapsed: %d cycles, avg cycles/update: %.1f\n",
+			res.Updates, res.Elapsed, res.AvgCycles)
+		stats()
+	}
 
 	switch *app {
 	case "counter":
-		printSynthetic(m, apps.CounterApp(m, bar.Policy, bar.Opts(), pat))
+		printSynthetic(apps.CounterApp(m, bar.Policy, bar.Opts(), pat))
 	case "tts":
-		printSynthetic(m, apps.TTSApp(m, bar.Policy, bar.Opts(), pat))
+		printSynthetic(apps.TTSApp(m, bar.Policy, bar.Opts(), pat))
 	case "mcs":
-		printSynthetic(m, apps.MCSApp(m, bar.Policy, bar.Opts(), pat))
+		printSynthetic(apps.MCSApp(m, bar.Policy, bar.Opts(), pat))
 	case "tclosure":
 		res := apps.TClosure(m, apps.TClosureConfig{
 			Size: *size, Policy: bar.Policy, Opts: bar.Opts(), Seed: 11,
 		})
-		fmt.Printf("elapsed: %d cycles, reachable pairs: %d\n", res.Elapsed, res.Reachable)
-		stats(m)
+		fmt.Fprintf(summary, "elapsed: %d cycles, reachable pairs: %d\n", res.Elapsed, res.Reachable)
+		stats()
 	case "locusroute":
 		cfg := apps.DefaultLocusRoute(*procs)
 		cfg.Policy, cfg.Opts = bar.Policy, bar.Opts()
 		res := apps.LocusRoute(m, cfg)
-		fmt.Printf("elapsed: %d cycles, wires routed: %d\n", res.Elapsed, res.Work)
-		stats(m)
+		fmt.Fprintf(summary, "elapsed: %d cycles, wires routed: %d\n", res.Elapsed, res.Work)
+		stats()
 	case "cholesky":
 		cfg := apps.DefaultCholesky(*procs)
 		cfg.Policy, cfg.Opts = bar.Policy, bar.Opts()
 		res := apps.Cholesky(m, cfg)
-		fmt.Printf("elapsed: %d cycles, columns factored: %d\n", res.Elapsed, res.Work)
-		stats(m)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintf(summary, "elapsed: %d cycles, columns factored: %d\n", res.Elapsed, res.Work)
+		stats()
 	}
-}
-
-func printSynthetic(m *machine.Machine, res apps.SyntheticResult) {
-	fmt.Printf("updates: %d, elapsed: %d cycles, avg cycles/update: %.1f\n",
-		res.Updates, res.Elapsed, res.AvgCycles)
-	stats(m)
-}
-
-func stats(m *machine.Machine) {
-	report.Collect(m).WriteText(os.Stdout)
-}
-
-func parsePolicy(s string) core.Policy {
-	switch s {
-	case "INV":
-		return core.PolicyINV
-	case "UPD":
-		return core.PolicyUPD
-	case "UNC":
-		return core.PolicyUNC
-	}
-	fmt.Fprintf(os.Stderr, "unknown policy %q\n", s)
-	os.Exit(2)
-	return 0
-}
-
-func parsePrim(s string) locks.Prim {
-	switch s {
-	case "FAP":
-		return locks.PrimFAP
-	case "CAS":
-		return locks.PrimCAS
-	case "LLSC":
-		return locks.PrimLLSC
-	}
-	fmt.Fprintf(os.Stderr, "unknown primitive %q\n", s)
-	os.Exit(2)
-	return 0
-}
-
-func parseVariant(s string) core.CASVariant {
-	switch s {
-	case "INV":
-		return core.CASPlain
-	case "INVd":
-		return core.CASDeny
-	case "INVs":
-		return core.CASShare
-	}
-	fmt.Fprintf(os.Stderr, "unknown CAS variant %q\n", s)
-	os.Exit(2)
-	return 0
 }

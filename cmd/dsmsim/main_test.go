@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dsm/internal/core"
+	"dsm/internal/locks"
+)
+
+func TestParseBarAcceptsKnownValues(t *testing.T) {
+	bar, err := parseBar("UPD", "CAS", "INVd", true, true)
+	if err != nil {
+		t.Fatalf("parseBar: %v", err)
+	}
+	if bar.Policy != core.PolicyUPD || bar.Prim != locks.PrimCAS ||
+		bar.Variant != core.CASDeny || !bar.LoadEx || !bar.Drop {
+		t.Fatalf("parseBar = %+v", bar)
+	}
+}
+
+func TestParseBarRejectsUnknownValues(t *testing.T) {
+	cases := []struct {
+		policy, prim, variant string
+		wantErr               string
+	}{
+		{"MESI", "FAP", "INV", "unknown policy"},
+		{"inv", "FAP", "INV", "unknown policy"}, // case-sensitive, no silent fallback
+		{"INV", "XADD", "INV", "unknown primitive"},
+		{"INV", "cas", "INV", "unknown primitive"},
+		{"INV", "CAS", "INVx", "unknown CAS variant"},
+		{"", "", "", "unknown policy"},
+	}
+	for _, tc := range cases {
+		_, err := parseBar(tc.policy, tc.prim, tc.variant, false, false)
+		if err == nil {
+			t.Errorf("parseBar(%q,%q,%q) accepted", tc.policy, tc.prim, tc.variant)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("parseBar(%q,%q,%q) error = %v, want %q", tc.policy, tc.prim, tc.variant, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateApp(t *testing.T) {
+	for _, app := range []string{"counter", "tts", "mcs", "tclosure", "locusroute", "cholesky"} {
+		if err := validateApp(app); err != nil {
+			t.Errorf("validateApp(%q) = %v", app, err)
+		}
+	}
+	for _, app := range []string{"", "Counter", "fib", "barnes"} {
+		if err := validateApp(app); err == nil {
+			t.Errorf("validateApp(%q) accepted", app)
+		}
+	}
+}

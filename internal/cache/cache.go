@@ -77,8 +77,8 @@ func DefaultConfig() Config { return Config{Sets: 512, Assoc: 4} }
 
 // Stats aggregates cache activity observed by the controller.
 type Stats struct {
-	Evictions      uint64 // lines displaced by fills
-	DirtyEvictions uint64 // displaced lines that required write-back
+	Evictions      uint64 `json:"evictions"`       // lines displaced by fills
+	DirtyEvictions uint64 `json:"dirty_evictions"` // displaced lines that required write-back
 }
 
 // Cache is one node's cache array. It is a passive structure: the coherence

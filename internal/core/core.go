@@ -218,14 +218,14 @@ func DefaultConfig() Config {
 
 // Counters aggregates protocol-level event counts across the system.
 type Counters struct {
-	Requests    uint64 // processor requests issued
-	LocalHits   uint64 // requests satisfied without leaving the node
-	Naks        uint64 // negative acknowledgments received by requesters
-	Retries     uint64 // request retries after NAK
-	Invals      uint64 // invalidation messages sent
-	Updates     uint64 // update messages sent
-	Writebacks  uint64 // dirty data returned to memory
-	SCFailLocal uint64 // store_conditionals failed without network traffic
+	Requests    uint64 `json:"requests"`      // processor requests issued
+	LocalHits   uint64 `json:"local_hits"`    // requests satisfied without leaving the node
+	Naks        uint64 `json:"naks"`          // negative acknowledgments received by requesters
+	Retries     uint64 `json:"retries"`       // request retries after NAK
+	Invals      uint64 `json:"invals"`        // invalidation messages sent
+	Updates     uint64 `json:"updates"`       // update messages sent
+	Writebacks  uint64 `json:"writebacks"`    // dirty data returned to memory
+	SCFailLocal uint64 `json:"sc_fail_local"` // store_conditionals failed without network traffic
 }
 
 // Policy-table geometry: policies are kept in a two-level page table
@@ -290,8 +290,8 @@ func NewSystem(eng *sim.Engine, net *mesh.Mesh, cfg Config) *System {
 		panic("core: more nodes than mesh positions")
 	}
 	s := &System{
-		cfg: cfg,
-		eng: eng,
+		cfg:  cfg,
+		eng:  eng,
 		mesh: net,
 		chains: stats.NewChainGrid(len(opNames), 3, func(op, pol int) string {
 			return OpKind(op).String() + "/" + Policy(pol).String()

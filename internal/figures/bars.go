@@ -114,6 +114,7 @@ var machinePool sync.Pool
 // when its structure matches.
 func acquireMachine(cfg core.Config) *machine.Machine {
 	if m, ok := machinePool.Get().(*machine.Machine); ok {
+		m.ClearPooled()
 		if m.Reset(cfg) {
 			return m
 		}
@@ -123,10 +124,18 @@ func acquireMachine(cfg core.Config) *machine.Machine {
 
 // ReleaseMachine returns a machine to the reuse pool. The machine must be
 // quiescent (between runs) and must not be used by the caller afterwards.
+// Releasing the same machine twice panics: the second release would let
+// the pool hand one machine to two concurrent runs, corrupting both (the
+// same freed-flag discipline the pooled protocol messages enforce).
 func ReleaseMachine(m *machine.Machine) {
-	if m != nil {
-		machinePool.Put(m)
+	if m == nil {
+		return
 	}
+	if !m.MarkPooled() {
+		panic("figures: ReleaseMachine called twice on the same machine; " +
+			"the machine is pool property after the first release")
+	}
+	machinePool.Put(m)
 }
 
 // NewMachine builds (or recycles) a machine for one bar under the given

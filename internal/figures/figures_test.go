@@ -2,6 +2,7 @@ package figures
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -185,5 +186,35 @@ func TestSyntheticFigureGridShape(t *testing.T) {
 				t.Fatal("empty cell in synthetic grid")
 			}
 		}
+	}
+}
+
+func TestReleaseMachineTwicePanics(t *testing.T) {
+	m := NewMachine(Small(), Bar{Policy: core.PolicyUNC, Prim: locks.PrimFAP})
+	ReleaseMachine(m)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double ReleaseMachine did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "ReleaseMachine called twice") {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	ReleaseMachine(m)
+}
+
+func TestReleaseMachineNilIsNoop(t *testing.T) {
+	ReleaseMachine(nil) // must not panic
+}
+
+func TestReacquiredMachineCanBeReleasedAgain(t *testing.T) {
+	bar := Bar{Policy: core.PolicyUNC, Prim: locks.PrimFAP}
+	// Churn through the pool a few times: a machine that comes back out of
+	// the pool must be releasable again without tripping the double-release
+	// guard.
+	for i := 0; i < 3; i++ {
+		m := NewMachine(Small(), bar)
+		ReleaseMachine(m)
 	}
 }

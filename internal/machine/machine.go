@@ -35,6 +35,13 @@ type Machine struct {
 	barrier barrierState
 	running int // processors still executing the current program
 
+	// pooled marks a machine currently resident in a reuse pool, mirroring
+	// the freed flag on pooled protocol messages: releasing an
+	// already-released machine would let two callers share one machine and
+	// silently corrupt both runs, so pools use MarkPooled/ClearPooled to
+	// turn that misuse into an immediate panic.
+	pooled bool
+
 	// ctxQuantum, when non-zero, models multiprogramming context switches
 	// as on the MIPS R4000 (paper section 2.1): every quantum, each
 	// processor's LL reservation bit is cleared, so a store_conditional
@@ -124,6 +131,20 @@ func (m *Machine) Reset(cfg core.Config) bool {
 	}
 	return true
 }
+
+// MarkPooled records that the machine entered a reuse pool. It reports
+// false when the machine is already marked — a double release.
+func (m *Machine) MarkPooled() bool {
+	if m.pooled {
+		return false
+	}
+	m.pooled = true
+	return true
+}
+
+// ClearPooled records that the machine left the pool and is owned by a
+// caller again.
+func (m *Machine) ClearPooled() { m.pooled = false }
 
 // Procs returns the number of simulated processors.
 func (m *Machine) Procs() int { return m.cfg.Nodes }

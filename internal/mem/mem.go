@@ -27,8 +27,8 @@ func DefaultConfig() Config {
 
 // Stats aggregates module activity.
 type Stats struct {
-	Accesses  uint64 // serviced requests
-	QueueWait uint64 // total cycles requests waited to start service
+	Accesses  uint64 `json:"accesses"`   // serviced requests
+	QueueWait uint64 `json:"queue_wait"` // total cycles requests waited to start service
 }
 
 // Module is one node's memory bank plus its physical storage. Storage is

@@ -51,13 +51,13 @@ func DefaultConfig() Config {
 
 // Stats aggregates network traffic counters.
 type Stats struct {
-	Messages   uint64 // mesh messages sent (excludes same-node bypass)
-	LocalMsgs  uint64 // same-node deliveries
-	Flits      uint64 // total flits injected
-	HopsTotal  uint64 // sum of hop counts over messages
-	InjectWait uint64 // cycles messages waited for the injection port
-	EjectWait  uint64 // cycles messages waited for the ejection port
-	LinkWait   uint64 // cycles head flits waited for internal links (ModelRouters)
+	Messages   uint64 `json:"messages"`    // mesh messages sent (excludes same-node bypass)
+	LocalMsgs  uint64 `json:"local_msgs"`  // same-node deliveries
+	Flits      uint64 `json:"flits"`       // total flits injected
+	HopsTotal  uint64 `json:"hops_total"`  // sum of hop counts over messages
+	InjectWait uint64 `json:"inject_wait"` // cycles messages waited for the injection port
+	EjectWait  uint64 `json:"eject_wait"`  // cycles messages waited for the ejection port
+	LinkWait   uint64 `json:"link_wait"`   // cycles head flits waited for internal links (ModelRouters)
 }
 
 // Mesh is the interconnect instance. It serializes messages through each

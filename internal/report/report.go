@@ -6,6 +6,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -21,32 +22,32 @@ import (
 // ChainSummary summarizes the serialized-message chains of one operation
 // class (e.g. "compare_and_swap/INV").
 type ChainSummary struct {
-	Class string
-	Count uint64
-	Mean  float64
-	Max   int
+	Class string  `json:"class"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   int     `json:"max"`
 }
 
 // Report is a snapshot of every measurement the machine exposes.
 type Report struct {
-	Procs int
+	Procs int `json:"procs"`
 
-	Protocol core.Counters
-	Network  mesh.Stats
-	Memory   mem.Stats   // summed over modules
-	Cache    cache.Stats // summed over caches
+	Protocol core.Counters `json:"protocol"`
+	Network  mesh.Stats    `json:"network"`
+	Memory   mem.Stats     `json:"memory"` // summed over modules
+	Cache    cache.Stats   `json:"cache"`  // summed over caches
 
-	Contention    *stats.Histogram
-	WriteRunMean  float64
-	WriteRunTotal uint64
+	Contention    *stats.Histogram `json:"contention"`
+	WriteRunMean  float64          `json:"write_run_mean"`
+	WriteRunTotal uint64           `json:"write_run_total"`
 
 	// Processor activity, summed over processors.
-	ProcOps       uint64
-	MemoryCycles  uint64
-	ComputeCycles uint64
-	BarrierCycles uint64
+	ProcOps       uint64 `json:"proc_ops"`
+	MemoryCycles  uint64 `json:"memory_cycles"`
+	ComputeCycles uint64 `json:"compute_cycles"`
+	BarrierCycles uint64 `json:"barrier_cycles"`
 
-	Chains []ChainSummary // sorted by class
+	Chains []ChainSummary `json:"chains,omitempty"` // sorted by class
 }
 
 // Collect gathers a report. It flushes the write-run tracker, terminating
@@ -116,6 +117,25 @@ func (r *Report) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "  %-28s count=%-8d mean=%.2f max=%d\n", c.Class, c.Count, c.Mean, c.Max)
 		}
 	}
+}
+
+// WriteJSON renders the report as one JSON object followed by a newline.
+// Field order is the struct declaration order and the contention histogram
+// encodes as value-sorted bins, so the encoding of a given report is
+// byte-stable: encoding the same report twice yields identical bytes. The
+// serving layer relies on this to make cache hits byte-identical to the
+// miss that populated them.
+func (r *Report) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r)
+}
+
+// ReadJSON parses a report previously written by WriteJSON.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
 }
 
 // WriteCSV renders the chain summaries as CSV (class,count,mean,max).

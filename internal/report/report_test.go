@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -90,5 +91,64 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if len(lines) < 2 {
 		t.Fatal("csv has no data rows")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	m := runSmall()
+	r := Collect(m)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	first := buf.String()
+	if !strings.HasSuffix(first, "\n") {
+		t.Fatal("WriteJSON output not newline-terminated")
+	}
+	// Byte-stable: encoding the same report again yields identical bytes.
+	var again bytes.Buffer
+	if err := r.WriteJSON(&again); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if again.String() != first {
+		t.Fatalf("re-encode differs:\n%s\nvs\n%s", again.String(), first)
+	}
+	got, err := ReadJSON(strings.NewReader(first))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip:\ngot  %+v\nwant %+v", got, r)
+	}
+	// The decoded report re-encodes to the same bytes.
+	var rebuf bytes.Buffer
+	if err := got.WriteJSON(&rebuf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if rebuf.String() != first {
+		t.Fatalf("decoded report re-encodes differently:\n%s\nvs\n%s", rebuf.String(), first)
+	}
+}
+
+func TestWriteJSONFieldOrder(t *testing.T) {
+	m := runSmall()
+	var buf bytes.Buffer
+	if err := Collect(m).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out := buf.String()
+	// Spot-check that the stable declaration order survives encoding.
+	fields := []string{`"procs"`, `"protocol"`, `"network"`, `"memory"`,
+		`"cache"`, `"contention"`, `"write_run_mean"`, `"proc_ops"`}
+	last := -1
+	for _, f := range fields {
+		i := strings.Index(out, f)
+		if i < 0 {
+			t.Fatalf("field %s missing from %s", f, out)
+		}
+		if i < last {
+			t.Fatalf("field %s out of order in %s", f, out)
+		}
+		last = i
 	}
 }

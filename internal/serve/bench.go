@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// Benchmark bodies for the serving layer, exported as ordinary
+// func(*testing.B) (the hostbench idiom) so bench_test.go and cmd/dsmload
+// -bench can both run them. All three drive the handler in process through
+// httptest recorders — no sockets — so they measure the serving stack
+// (parse, hash, cache, coalesce, encode), not the kernel's TCP path.
+
+// benchSpec matches the hostbench MachineRun scale: 8 processors, 3
+// rounds of the contended lock-free counter.
+const benchSpec = `{"app":"counter","procs":8,"c":8,"rounds":3,"seed":%SEED%}`
+
+func benchRequest(h http.Handler, body string) int {
+	req := httptest.NewRequest(http.MethodPost, "/v1/sim", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code
+}
+
+func specWithSeed(seed string) string {
+	return strings.Replace(benchSpec, "%SEED%", seed, 1)
+}
+
+// BenchServeHit measures the pure cache-hit path: spec parse + canonical
+// hash + LRU lookup + response write, no simulation.
+func BenchServeHit(b *testing.B) {
+	b.ReportAllocs()
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	h := s.Handler()
+	spec := specWithSeed("1")
+	if code := benchRequest(h, spec); code != http.StatusOK { // warm the cache
+		b.Fatalf("warmup = %d", code)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := benchRequest(h, spec); code != http.StatusOK {
+			b.Fatalf("code = %d", code)
+		}
+	}
+	if m := s.Metrics(); m.Runs != 1 {
+		b.Fatalf("Runs = %d, want 1 (everything after warmup must hit)", m.Runs)
+	}
+}
+
+// BenchServeMiss measures the full miss path: every iteration presents a
+// never-seen spec (fresh seed), so each request runs one simulation on the
+// worker pool and encodes its report.
+func BenchServeMiss(b *testing.B) {
+	b.ReportAllocs()
+	s := New(Config{Workers: 2, CacheEntries: 16})
+	defer s.Close()
+	h := s.Handler()
+	var seed atomic.Uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := specWithSeed(strconv.FormatUint(seed.Add(1), 10))
+		if code := benchRequest(h, spec); code != http.StatusOK {
+			b.Fatalf("code = %d", code)
+		}
+	}
+}
+
+// BenchServeDup90 is the serving benchmark of record: concurrent clients,
+// 90% of requests drawn from a fixed working set (cache hits after first
+// touch) and 10% never-seen specs, approximating cmd/dsmload's default
+// profile without sockets. Reports the achieved hit ratio.
+func BenchServeDup90(b *testing.B) {
+	b.ReportAllocs()
+	s := New(Config{Workers: 0, Queue: 256})
+	defer s.Close()
+	h := s.Handler()
+	base := make([]string, 16)
+	for i := range base {
+		base[i] = specWithSeed(strconv.FormatUint(uint64(i+1), 10))
+	}
+	var unique atomic.Uint64
+	unique.Store(uint64(len(base)))
+	var n atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := n.Add(1)
+			var spec string
+			if i%10 == 0 { // 10% unique
+				spec = specWithSeed(strconv.FormatUint(unique.Add(1), 10))
+			} else {
+				spec = base[i%uint64(len(base))]
+			}
+			code := benchRequest(h, spec)
+			if code != http.StatusOK && code != http.StatusTooManyRequests {
+				b.Fatalf("code = %d", code)
+			}
+		}
+	})
+	m := s.Metrics()
+	if m.Requests > 0 {
+		b.ReportMetric(float64(m.CacheHits)/float64(m.Requests), "hit-ratio")
+	}
+}

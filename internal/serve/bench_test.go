@@ -1,0 +1,10 @@
+package serve
+
+import "testing"
+
+// go test -bench wrappers over the exported benchmark bodies in bench.go
+// (shared with cmd/dsmload -bench).
+
+func BenchmarkServeHit(b *testing.B)   { BenchServeHit(b) }
+func BenchmarkServeMiss(b *testing.B)  { BenchServeMiss(b) }
+func BenchmarkServeDup90(b *testing.B) { BenchServeDup90(b) }

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: canonical spec hash
+// -> encoded outcome bytes, with LRU eviction at a fixed entry budget.
+// Entries are immutable once inserted (the encoded bytes are never
+// modified), so a hit can hand the stored slice to the response writer
+// without copying.
+type resultCache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// get returns the cached bytes for key, refreshing its recency.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put inserts key -> data, evicting the least recently used entry when the
+// cache is at capacity. Re-inserting an existing key refreshes its data
+// and recency.
+func (c *resultCache) put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	if c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+}
+
+// stats returns the current entry count and lifetime eviction count.
+func (c *resultCache) stats() (entries int, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.evictions
+}

@@ -1,0 +1,50 @@
+package serve
+
+import "sync"
+
+// flightCall is one in-flight simulation that concurrent identical
+// requests share. The leader fills data/err and closes done; followers
+// block on done and read the shared result.
+type flightCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// flightGroup coalesces duplicate work by key: the first request for a key
+// becomes the leader and executes; requests arriving before the leader
+// finishes become followers of the same call. This is the single-flight
+// pattern — under a burst of N identical specs, exactly one simulation
+// runs and N-1 requests pay only the wait.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// join returns the call for key, creating it when absent. leader reports
+// whether this caller must execute the work and complete the call.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// complete publishes the leader's result and wakes every follower. The key
+// is removed before done closes, so a request arriving after completion
+// starts a fresh call (it will hit the result cache first anyway).
+func (g *flightGroup) complete(key string, c *flightCall, data []byte, err error) {
+	c.data, c.err = data, err
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}

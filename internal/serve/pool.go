@@ -1,0 +1,62 @@
+package serve
+
+import "sync"
+
+// workerPool runs simulations on a fixed set of goroutines fed by a
+// bounded queue. The queue bound is the service's backpressure valve: when
+// it is full, submit fails immediately and the handler answers 429 rather
+// than letting latency grow without bound.
+type workerPool struct {
+	mu     sync.Mutex // serializes submit against close
+	closed bool
+	jobs   chan func()
+	wg     sync.WaitGroup
+}
+
+func newWorkerPool(workers, queue int) *workerPool {
+	p := &workerPool{jobs: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues one job, reporting false when the queue is full or the
+// pool is draining. The mutex makes submit safe against a concurrent
+// close (a bare send racing a channel close would panic).
+func (p *workerPool) submit(job func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// depth returns the number of queued (not yet started) jobs.
+func (p *workerPool) depth() int { return len(p.jobs) }
+
+// close drains the pool: no further submissions are accepted, queued jobs
+// run to completion, and close returns once every worker has exited. This
+// is the graceful-shutdown path — in-flight simulations finish and their
+// waiters get responses.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

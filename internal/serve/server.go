@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of goroutines running simulations
+	// concurrently. 0 selects GOMAXPROCS. Simulations are CPU-bound, so
+	// more workers than cores buys queueing, not throughput.
+	Workers int
+	// Queue bounds how many accepted simulations may wait for a worker.
+	// Beyond it the service answers 429 + Retry-After. 0 selects 64.
+	Queue int
+	// CacheEntries bounds the result cache (LRU beyond it). 0 selects 1024.
+	CacheEntries int
+	// Timeout is the per-request deadline covering queue wait plus
+	// simulation; expiry answers 504. 0 selects 30s.
+	Timeout time.Duration
+}
+
+// Server is the simulation service: an http.Handler plus the worker pool,
+// result cache, and single-flight group behind it.
+type Server struct {
+	cfg     Config
+	cache   *resultCache
+	flight  *flightGroup
+	pool    *workerPool
+	met     metrics
+	mux     *http.ServeMux
+	closing atomic.Bool
+}
+
+// New builds a server. Call Close to drain it.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheEntries),
+		flight: newFlightGroup(),
+		pool:   newWorkerPool(cfg.Workers, cfg.Queue),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/sim", s.handleSim)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns a point-in-time snapshot of the service counters.
+func (s *Server) Metrics() Snapshot {
+	snap := s.met.snapshot()
+	snap.CacheEntries, snap.CacheEvictions = s.cache.stats()
+	snap.QueueDepth = s.pool.depth()
+	snap.Workers = s.cfg.Workers
+	return snap
+}
+
+// Close drains the worker pool: queued simulations complete, their waiters
+// get responses, and Close returns once the workers have exited. The HTTP
+// listener must already have stopped dispatching new requests (e.g. via
+// http.Server.Shutdown) — new arrivals during the drain are answered 503,
+// but requests already past that check may not be.
+func (s *Server) Close() {
+	if s.closing.Swap(true) {
+		return
+	}
+	s.pool.close()
+}
+
+// ------------------------------------------------------------ handlers --
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET with query parameters or POST with a JSON spec")
+		return
+	}
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	start := time.Now()
+	spec, err := parseSpecRequest(r)
+	if err == nil {
+		spec, err = spec.Normalize()
+	}
+	if err != nil {
+		s.met.badRequest.Add(1)
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.met.requests.Add(1)
+	key := spec.Key()
+
+	if data, ok := s.cache.get(key); ok {
+		s.met.hits.Add(1)
+		s.writeOutcome(w, data, "hit", key, start)
+		return
+	}
+
+	call, leader := s.flight.join(key)
+	if leader {
+		s.met.misses.Add(1)
+		ok := s.pool.submit(func() {
+			data, err := s.runEncoded(spec)
+			if err == nil {
+				s.cache.put(key, data)
+			}
+			s.flight.complete(key, call, data, err)
+		})
+		if !ok {
+			// Queue full: fail this call so any followers that joined
+			// between join and here are released too.
+			s.flight.complete(key, call, nil, errBusy)
+		}
+	} else {
+		s.met.coalesced.Add(1)
+	}
+
+	deadline := time.NewTimer(s.cfg.Timeout)
+	defer deadline.Stop()
+	select {
+	case <-call.done:
+	case <-deadline.C:
+		s.met.timeouts.Add(1)
+		s.writeError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("deadline of %s exceeded (queue wait + simulation)", s.cfg.Timeout))
+		return
+	case <-r.Context().Done():
+		// Client gone; nothing useful to write.
+		return
+	}
+	switch {
+	case call.err == errBusy:
+		s.met.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("simulation queue full (%d queued); retry shortly", s.cfg.Queue))
+	case call.err != nil:
+		s.met.errors.Add(1)
+		s.writeError(w, http.StatusInternalServerError, call.err.Error())
+	default:
+		state := "miss"
+		if !leader {
+			state = "coalesced"
+		}
+		s.writeOutcome(w, call.data, state, key, start)
+	}
+}
+
+// runEncoded executes the spec and returns its canonical JSON bytes,
+// converting a panic anywhere under the simulator into an error so one bad
+// run cannot take down a worker.
+func (s *Server) runEncoded(spec Spec) (data []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("simulation failed: %v", r)
+		}
+	}()
+	s.met.runs.Add(1)
+	return Run(spec).Encode()
+}
+
+var errBusy = fmt.Errorf("queue full")
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// ------------------------------------------------------------ encoding --
+
+func (s *Server) writeOutcome(w http.ResponseWriter, data []byte, cache, key string, start time.Time) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cache)
+	w.Header().Set("X-Spec-Key", key)
+	w.Write(data)
+	s.met.latency.observe(time.Since(start))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// parseSpecRequest decodes a spec from a POST JSON body or GET query
+// parameters (app, policy, prim, cas, ldex, drop, procs, c, a, rounds,
+// size, seed — mirroring the cmd/dsmsim flags).
+func parseSpecRequest(r *http.Request) (Spec, error) {
+	var sp Spec
+	if r.Method == http.MethodPost {
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sp); err != nil {
+			return sp, fmt.Errorf("bad spec JSON: %w", err)
+		}
+		return sp, nil
+	}
+	q := r.URL.Query()
+	sp.App = q.Get("app")
+	sp.Policy = q.Get("policy")
+	sp.Prim = q.Get("prim")
+	sp.Variant = q.Get("cas")
+	var err error
+	parseInt := func(name string, dst *int) {
+		if err != nil || !q.Has(name) {
+			return
+		}
+		var v int64
+		if v, err = strconv.ParseInt(q.Get(name), 10, 0); err != nil {
+			err = fmt.Errorf("bad %s %q", name, q.Get(name))
+			return
+		}
+		*dst = int(v)
+	}
+	parseBool := func(name string, dst *bool) {
+		if err != nil || !q.Has(name) {
+			return
+		}
+		if *dst, err = strconv.ParseBool(q.Get(name)); err != nil {
+			err = fmt.Errorf("bad %s %q", name, q.Get(name))
+		}
+	}
+	parseInt("procs", &sp.Procs)
+	parseInt("c", &sp.Contention)
+	parseInt("rounds", &sp.Rounds)
+	parseInt("size", &sp.Size)
+	parseBool("ldex", &sp.LoadEx)
+	parseBool("drop", &sp.Drop)
+	if err == nil && q.Has("a") {
+		if sp.WriteRun, err = strconv.ParseFloat(q.Get("a"), 64); err != nil {
+			err = fmt.Errorf("bad a %q", q.Get("a"))
+		}
+	}
+	if err == nil && q.Has("seed") {
+		if sp.Seed, err = strconv.ParseUint(q.Get("seed"), 10, 64); err != nil {
+			err = fmt.Errorf("bad seed %q", q.Get("seed"))
+		}
+	}
+	return sp, err
+}

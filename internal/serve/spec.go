@@ -1,0 +1,187 @@
+// Package serve turns the simulator into a long-lived service: an HTTP API
+// that accepts simulation specs (primitive x coherence policy x contention
+// point in the paper's design space), runs them on a bounded worker pool
+// drawing machines from the internal/figures reuse pool, and returns the
+// measurements as JSON. Around the pool sit a content-addressed LRU result
+// cache (canonical spec hash -> encoded report), single-flight coalescing
+// so N concurrent identical requests cost one simulation, bounded-queue
+// backpressure (429 + Retry-After), per-request deadlines, and a metrics
+// surface. cmd/dsmserve wires it to a listener; cmd/dsmload drives it.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"dsm/internal/core"
+	"dsm/internal/locks"
+)
+
+// Spec is one simulation request: which workload to run, on which
+// primitive/policy configuration, at what scale. String-typed enums keep
+// the wire format self-describing; ParseX helpers map them to the internal
+// types. The zero value of every field selects a documented default, so
+// `{}` is a valid spec (the reduced-scale lock-free counter under INV/FAP).
+type Spec struct {
+	App     string `json:"app,omitempty"`    // counter, tts, mcs, tclosure, locusroute, cholesky
+	Policy  string `json:"policy,omitempty"` // INV, UPD, UNC
+	Prim    string `json:"prim,omitempty"`   // FAP, CAS, LLSC
+	Variant string `json:"cas,omitempty"`    // INV, INVd, INVs (CAS implementation)
+	LoadEx  bool   `json:"ldex,omitempty"`   // pair CAS with load_exclusive
+	Drop    bool   `json:"drop,omitempty"`   // issue drop_copy after updates
+
+	Procs      int     `json:"procs,omitempty"`  // simulated processors, 1-64 (default 16)
+	Contention int     `json:"c,omitempty"`      // synthetic contention level (default 1)
+	WriteRun   float64 `json:"a,omitempty"`      // synthetic average write-run length (default 1)
+	Rounds     int     `json:"rounds,omitempty"` // synthetic barrier-separated rounds (default 6)
+	Size       int     `json:"size,omitempty"`   // transitive-closure vertices (default 12)
+
+	Seed uint64 `json:"seed,omitempty"` // 0 selects the per-app default seeds
+}
+
+// Scale limits keep one request's simulation cost bounded: the service is
+// sized for interactive exploration, not unbounded batch jobs.
+const (
+	MaxProcs  = 64 // the paper's machine
+	MaxRounds = 256
+	MaxSize   = 64
+	maxWrun   = 64
+)
+
+// apps the service knows how to run, with whether they are synthetic
+// (pattern-driven) workloads.
+var specApps = map[string]bool{
+	"counter":    true,
+	"tts":        true,
+	"mcs":        true,
+	"tclosure":   false,
+	"locusroute": false,
+	"cholesky":   false,
+}
+
+// ParsePolicy maps a wire policy name to the internal coherence policy.
+func ParsePolicy(s string) (core.Policy, error) {
+	switch s {
+	case "INV":
+		return core.PolicyINV, nil
+	case "UPD":
+		return core.PolicyUPD, nil
+	case "UNC":
+		return core.PolicyUNC, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want INV, UPD, or UNC)", s)
+}
+
+// ParsePrim maps a wire primitive name to the internal primitive family.
+func ParsePrim(s string) (locks.Prim, error) {
+	switch s {
+	case "FAP":
+		return locks.PrimFAP, nil
+	case "CAS":
+		return locks.PrimCAS, nil
+	case "LLSC":
+		return locks.PrimLLSC, nil
+	}
+	return 0, fmt.Errorf("unknown primitive %q (want FAP, CAS, or LLSC)", s)
+}
+
+// ParseVariant maps a wire CAS-variant name to the internal variant.
+func ParseVariant(s string) (core.CASVariant, error) {
+	switch s {
+	case "INV":
+		return core.CASPlain, nil
+	case "INVd":
+		return core.CASDeny, nil
+	case "INVs":
+		return core.CASShare, nil
+	}
+	return 0, fmt.Errorf("unknown CAS variant %q (want INV, INVd, or INVs)", s)
+}
+
+// Normalize validates the spec and returns its canonical form: defaults
+// filled in, fields irrelevant to the selected application zeroed (so two
+// requests that must produce the same result share one cache key), and all
+// enums checked. It does not modify the receiver.
+func (s Spec) Normalize() (Spec, error) {
+	if s.App == "" {
+		s.App = "counter"
+	}
+	synthetic, ok := specApps[s.App]
+	if !ok {
+		return s, fmt.Errorf("unknown app %q (want counter, tts, mcs, tclosure, locusroute, or cholesky)", s.App)
+	}
+	if s.Policy == "" {
+		s.Policy = "INV"
+	}
+	if _, err := ParsePolicy(s.Policy); err != nil {
+		return s, err
+	}
+	if s.Prim == "" {
+		s.Prim = "FAP"
+	}
+	if _, err := ParsePrim(s.Prim); err != nil {
+		return s, err
+	}
+	if s.Variant == "" {
+		s.Variant = "INV"
+	}
+	if _, err := ParseVariant(s.Variant); err != nil {
+		return s, err
+	}
+	if s.Procs == 0 {
+		s.Procs = 16
+	}
+	if s.Procs < 1 || s.Procs > MaxProcs {
+		return s, fmt.Errorf("procs %d out of range 1-%d", s.Procs, MaxProcs)
+	}
+	if synthetic {
+		if s.Contention == 0 {
+			s.Contention = 1
+		}
+		if s.Contention < 1 || s.Contention > s.Procs {
+			return s, fmt.Errorf("contention %d out of range 1-%d (procs)", s.Contention, s.Procs)
+		}
+		if s.Contention == 1 {
+			if s.WriteRun == 0 {
+				s.WriteRun = 1
+			}
+			if s.WriteRun < 1 || s.WriteRun > maxWrun {
+				return s, fmt.Errorf("write-run %g out of range 1-%d", s.WriteRun, maxWrun)
+			}
+		} else {
+			// Write-run length only shapes the no-contention pattern.
+			s.WriteRun = 0
+		}
+		if s.Rounds == 0 {
+			s.Rounds = 6
+		}
+		if s.Rounds < 1 || s.Rounds > MaxRounds {
+			return s, fmt.Errorf("rounds %d out of range 1-%d", s.Rounds, MaxRounds)
+		}
+	} else {
+		s.Contention, s.WriteRun, s.Rounds = 0, 0, 0
+	}
+	if s.App == "tclosure" {
+		if s.Size == 0 {
+			s.Size = 12
+		}
+		if s.Size < 2 || s.Size > MaxSize {
+			return s, fmt.Errorf("size %d out of range 2-%d", s.Size, MaxSize)
+		}
+	} else {
+		s.Size = 0
+	}
+	return s, nil
+}
+
+// Key returns the content address of a canonical spec: the hex SHA-256 of
+// a fixed-order rendering of every field. Two specs with the same key
+// request byte-for-byte the same simulation result.
+func (s Spec) Key() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf(
+		"app=%s policy=%s prim=%s cas=%s ldex=%t drop=%t procs=%d c=%d a=%g rounds=%d size=%d seed=%d",
+		s.App, s.Policy, s.Prim, s.Variant, s.LoadEx, s.Drop,
+		s.Procs, s.Contention, s.WriteRun, s.Rounds, s.Size, s.Seed)))
+	return hex.EncodeToString(h[:])
+}

@@ -7,6 +7,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -98,6 +99,41 @@ func (h *Histogram) Merge(other *Histogram) {
 	for v, n := range other.counts {
 		h.AddN(v, n)
 	}
+}
+
+// histogramBin is one value/count pair of the JSON encoding.
+type histogramBin struct {
+	V int    `json:"v"`
+	N uint64 `json:"n"`
+}
+
+// MarshalJSON encodes the histogram as an array of {"v":value,"n":count}
+// bins in increasing value order, so the encoding of a given histogram is
+// byte-stable (map iteration order never leaks into the output).
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	bins := make([]histogramBin, 0, len(h.counts))
+	for _, v := range h.Values() {
+		bins = append(bins, histogramBin{V: v, N: h.counts[v]})
+	}
+	return json.Marshal(bins)
+}
+
+// UnmarshalJSON rebuilds the histogram from its bin array, restoring the
+// derived total and sum.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var bins []histogramBin
+	if err := json.Unmarshal(data, &bins); err != nil {
+		return err
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+	} else {
+		h.Reset()
+	}
+	for _, b := range bins {
+		h.AddN(b.V, b.N)
+	}
+	return nil
 }
 
 // String renders "v:count" pairs in increasing value order.

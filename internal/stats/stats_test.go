@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/json"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -251,5 +253,52 @@ func TestChainRecorder(t *testing.T) {
 	}
 	if len(c.Classes()) != 2 {
 		t.Fatalf("Classes = %v", c.Classes())
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(1, 5)
+	h.AddN(16, 2)
+	h.Add(3)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	want := `[{"v":1,"n":5},{"v":3,"n":1},{"v":16,"n":2}]`
+	if string(data) != want {
+		t.Fatalf("Marshal = %s, want %s", data, want)
+	}
+	// The encoding must be byte-stable across re-encodes.
+	again, _ := json.Marshal(h)
+	if string(again) != want {
+		t.Fatalf("re-Marshal = %s, want %s", again, want)
+	}
+	got := NewHistogram()
+	if err := json.Unmarshal(data, got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Total() != h.Total() || got.Mean() != h.Mean() || got.Max() != h.Max() {
+		t.Fatalf("round trip lost derived stats: %s vs %s", got, h)
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("round trip = %s, want %s", got, h)
+	}
+}
+
+func TestHistogramJSONEmpty(t *testing.T) {
+	data, err := json.Marshal(NewHistogram())
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if string(data) != "[]" {
+		t.Fatalf("empty = %s, want []", data)
+	}
+	got := NewHistogram()
+	if err := json.Unmarshal(data, got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Total() != 0 {
+		t.Fatalf("Total = %d", got.Total())
 	}
 }
