@@ -16,21 +16,21 @@ import (
 	"dsm/internal/apps"
 	"dsm/internal/core"
 	"dsm/internal/dir"
-	"dsm/internal/figures"
+	"dsm/internal/exper"
 	"dsm/internal/hostbench"
 	"dsm/internal/locks"
 	"dsm/internal/machine"
 	"dsm/internal/sim"
 )
 
-func benchOpts() figures.RunOpts { return figures.RunOpts{Procs: 16, Rounds: 6, TCSize: 10} }
+func benchOpts() exper.RunOpts { return exper.RunOpts{Procs: 16, Rounds: 6, TCSize: 10} }
 
 // BenchmarkTable1 regenerates Table 1 (serialized network messages per
 // store, all seven coherence situations) and validates it against the
 // paper's counts.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, r := range figures.Table1() {
+		for _, r := range exper.Table1() {
 			if r.Got != r.Paper {
 				b.Fatalf("%s: %d != paper %d", r.Case, r.Got, r.Paper)
 			}
@@ -40,13 +40,13 @@ func BenchmarkTable1(b *testing.B) {
 
 // syntheticBench runs one figure-3/4/5 bar across the paper's sharing
 // patterns and reports the average simulated cycles per counter update.
-func syntheticBench(b *testing.B, app func(*machine.Machine, core.Policy, locks.Options, apps.Pattern) apps.SyntheticResult, bar figures.Bar) {
+func syntheticBench(b *testing.B, app func(*machine.Machine, core.Policy, locks.Options, apps.Pattern) apps.SyntheticResult, bar exper.Bar) {
 	o := benchOpts()
-	pats := figures.Patterns(o)
+	pats := exper.Patterns(o)
 	var cycles, updates float64
 	for i := 0; i < b.N; i++ {
 		for _, pat := range pats {
-			m := figures.NewMachine(o, bar)
+			m := exper.NewMachine(o, bar)
 			res := app(m, bar.Policy, bar.Opts(), pat)
 			cycles += float64(res.Elapsed)
 			updates += float64(res.Updates)
@@ -60,7 +60,7 @@ func syntheticBench(b *testing.B, app func(*machine.Machine, core.Policy, locks.
 // BenchmarkFig3 regenerates Figure 3 (lock-free counter): every bar of the
 // paper's figure, across all ten sharing patterns.
 func BenchmarkFig3(b *testing.B) {
-	for _, bar := range figures.SyntheticBars() {
+	for _, bar := range exper.SyntheticBars() {
 		bar := bar
 		b.Run(bar.Label, func(b *testing.B) { syntheticBench(b, apps.CounterApp, bar) })
 	}
@@ -69,7 +69,7 @@ func BenchmarkFig3(b *testing.B) {
 // BenchmarkFig4 regenerates Figure 4 (counter under a test-and-test-and-set
 // lock with bounded exponential backoff).
 func BenchmarkFig4(b *testing.B) {
-	for _, bar := range figures.SyntheticBars() {
+	for _, bar := range exper.SyntheticBars() {
 		bar := bar
 		b.Run(bar.Label, func(b *testing.B) { syntheticBench(b, apps.TTSApp, bar) })
 	}
@@ -77,7 +77,7 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkFig5 regenerates Figure 5 (counter under an MCS queue lock).
 func BenchmarkFig5(b *testing.B) {
-	for _, bar := range figures.SyntheticBars() {
+	for _, bar := range exper.SyntheticBars() {
 		bar := bar
 		b.Run(bar.Label, func(b *testing.B) { syntheticBench(b, apps.MCSApp, bar) })
 	}
@@ -88,13 +88,13 @@ func BenchmarkFig5(b *testing.B) {
 // write-run mean (the paper's section 4.2 observables).
 func BenchmarkFig2(b *testing.B) {
 	o := benchOpts()
-	for _, app := range figures.RealApps() {
+	for _, app := range exper.RealApps() {
 		for _, pol := range []core.Policy{core.PolicyINV, core.PolicyUNC, core.PolicyUPD} {
 			app, pol := app, pol
 			b.Run(app.String()+"/"+pol.String(), func(b *testing.B) {
 				var uncontended, writeRun float64
 				for i := 0; i < b.N; i++ {
-					m, _ := figures.RunReal(app, o, figures.Bar{Policy: pol, Prim: locks.PrimFAP})
+					m, _ := exper.RunReal(app, o, exper.Bar{Policy: pol, Prim: locks.PrimFAP})
 					uncontended = m.System().Contention().Histogram().Percent(1)
 					wr := m.System().WriteRuns()
 					wr.Flush()
@@ -112,7 +112,7 @@ func BenchmarkFig2(b *testing.B) {
 // bars; cmd/figures runs the full set).
 func BenchmarkFig6(b *testing.B) {
 	o := benchOpts()
-	bars := []figures.Bar{
+	bars := []exper.Bar{
 		{Label: "UNC FAP", Policy: core.PolicyUNC, Prim: locks.PrimFAP},
 		{Label: "UNC LLSC", Policy: core.PolicyUNC, Prim: locks.PrimLLSC},
 		{Label: "INV FAP", Policy: core.PolicyINV, Prim: locks.PrimFAP},
@@ -122,13 +122,13 @@ func BenchmarkFig6(b *testing.B) {
 		{Label: "UPD FAP", Policy: core.PolicyUPD, Prim: locks.PrimFAP},
 		{Label: "UPD CAS", Policy: core.PolicyUPD, Prim: locks.PrimCAS},
 	}
-	for _, app := range figures.RealApps() {
+	for _, app := range exper.RealApps() {
 		for _, bar := range bars {
 			app, bar := app, bar
 			b.Run(app.String()+"/"+bar.Label, func(b *testing.B) {
 				var elapsed uint64
 				for i := 0; i < b.N; i++ {
-					_, elapsed = figures.RunReal(app, o, bar)
+					_, elapsed = exper.RunReal(app, o, bar)
 				}
 				b.ReportMetric(float64(elapsed), "sim-cycles")
 			})
@@ -312,7 +312,7 @@ func BenchmarkAblationWriteRunCrossover(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/a=%g", pol, a), func(b *testing.B) {
 				var avg float64
 				for i := 0; i < b.N; i++ {
-					m := figures.NewMachine(benchOpts(), figures.Bar{})
+					m := exper.NewMachine(benchOpts(), exper.Bar{})
 					res := apps.CounterApp(m, pol, locks.Options{Prim: locks.PrimFAP},
 						apps.Pattern{Contention: 1, WriteRun: a, Rounds: 8})
 					avg = res.AvgCycles

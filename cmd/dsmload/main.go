@@ -4,16 +4,23 @@
 // once warm) and from never-seen specs otherwise (these cost a real
 // simulation). It prints achieved throughput, latency percentiles, and the
 // client-observed cache-hit ratio, and with -o writes the run as JSON —
-// the serving benchmark of record (BENCH_PR4.json).
+// the serving benchmark of record (BENCH_PR4.json, BENCH_PR5.json).
 //
 //	dsmserve &
 //	dsmload -addr http://localhost:8080 -c 32 -d 10s -dup 0.9 -o BENCH_PR4.json
+//	dsmload -sweep -batch 8 -c 32 -d 10s -dup 0.9 -o BENCH_PR5.json
 //
-// With -bench it also runs the in-process serving benchmarks
-// (serve.BenchServe*) and records them alongside the load run.
+// A 429 rejection is retried up to 5 times, honoring the server's
+// Retry-After with capped exponential backoff; retries are recorded in the
+// JSON run record as retries_429. With -sweep each request is a -batch
+// point plan POSTed to /v1/sweep, and the per-point cache profile comes
+// from the X-Sweep-* response headers. With -bench it also runs the
+// in-process serving benchmarks (serve.BenchServe*) and records them
+// alongside the load run.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +30,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -50,9 +58,16 @@ func workingSet(n int) []string {
 
 // result is one request's outcome as the client saw it.
 type result struct {
-	latency time.Duration
-	status  int
-	cache   string // X-Cache header: hit, miss, coalesced ("" on error)
+	latency    time.Duration
+	status     int
+	cache      string // X-Cache header: hit, miss, coalesced ("" on error)
+	retryAfter string // Retry-After header of a 429 response
+	retries    int    // 429 responses retried before this outcome
+
+	// Sweep mode: per-point accounting decoded from the X-Sweep-* headers
+	// of one batch response (points > 0 marks a batch result).
+	points, hits, coalesced int
+	lines                   int // NDJSON lines actually received
 }
 
 type loadStats struct {
@@ -62,12 +77,15 @@ type loadStats struct {
 	DupRate     float64 `json:"dup_rate"`
 	SpecSet     int     `json:"spec_set"`
 
-	Requests  uint64 `json:"requests"`
-	Failed    uint64 `json:"failed"`
-	Rejected  uint64 `json:"rejected"` // 429s (also counted in Failed)
-	Hits      uint64 `json:"hits"`
-	Coalesced uint64 `json:"coalesced"`
-	Misses    uint64 `json:"misses"`
+	SweepBatch int `json:"sweep_batch,omitempty"` // points per /v1/sweep plan (0: /v1/sim mode)
+
+	Requests   uint64 `json:"requests"`
+	Failed     uint64 `json:"failed"`
+	Rejected   uint64 `json:"rejected"`    // 429s that exhausted their retries (also counted in Failed)
+	Retries429 uint64 `json:"retries_429"` // 429 responses retried after honoring Retry-After
+	Hits       uint64 `json:"hits"`
+	Coalesced  uint64 `json:"coalesced"`
+	Misses     uint64 `json:"misses"`
 
 	ReqPerSec float64 `json:"req_per_sec"`
 	HitRatio  float64 `json:"hit_ratio"`
@@ -105,16 +123,22 @@ func main() {
 		nset  = flag.Int("specs", 16, "working-set size (distinct duplicate specs)")
 		out   = flag.String("o", "", "write the run as JSON to this file (- for stdout)")
 		bench = flag.Bool("bench", false, "also run the in-process serve benchmarks")
+		sweep = flag.Bool("sweep", false, "issue batch plans to /v1/sweep instead of single sims")
+		batch = flag.Int("batch", 8, "points per sweep plan (with -sweep)")
 	)
 	flag.Parse()
 
 	specs := workingSet(*nset)
 	client := &http.Client{Timeout: 60 * time.Second}
-	url := strings.TrimSuffix(*addr, "/") + "/v1/sim"
+	base := strings.TrimSuffix(*addr, "/")
+	url := base + "/v1/sim"
+	if *sweep {
+		url = base + "/v1/sweep"
+	}
 
 	// Warm-up probe: fail fast when no server is listening.
-	if _, err := issue(client, url, specs[0]); err != nil {
-		fmt.Fprintf(os.Stderr, "dsmload: cannot reach %s: %v\n", url, err)
+	if _, err := issue(client, base+"/v1/sim", specs[0]); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmload: cannot reach %s: %v\n", base, err)
 		os.Exit(1)
 	}
 
@@ -128,17 +152,28 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w) + 1))
 			unique := uint64(w) << 32 // per-client unique-seed space
-			for time.Now().Before(deadline) {
-				var spec string
+			draw := func() string {
 				if rng.Float64() < *dup {
-					spec = specs[rng.Intn(len(specs))]
-				} else {
-					unique++
-					spec = fmt.Sprintf(
-						`{"app":"counter","procs":8,"c":8,"rounds":3,"seed":%d}`, unique)
+					return specs[rng.Intn(len(specs))]
 				}
+				unique++
+				return fmt.Sprintf(
+					`{"app":"counter","procs":8,"c":8,"rounds":3,"seed":%d}`, unique)
+			}
+			for time.Now().Before(deadline) {
+				var r result
+				var err error
 				t0 := time.Now()
-				r, err := issue(client, url, spec)
+				if *sweep {
+					points := make([]string, *batch)
+					for i := range points {
+						points[i] = draw()
+					}
+					plan := `{"points":[` + strings.Join(points, ",") + `]}`
+					r, err = issueSweep(client, url, plan)
+				} else {
+					r, err = issueRetry(client, url, draw(), deadline)
+				}
 				r.latency = time.Since(t0)
 				if err != nil {
 					r.status = 0
@@ -155,6 +190,9 @@ func main() {
 	stats.Concurrency = *conc
 	stats.DupRate = *dup
 	stats.SpecSet = len(specs)
+	if *sweep {
+		stats.SweepBatch = *batch
+	}
 
 	fmt.Printf("dsmload: %d requests in %.2fs = %.0f req/s (%d clients, dup %.2f)\n",
 		stats.Requests, elapsed.Seconds(), stats.ReqPerSec, *conc, *dup)
@@ -162,7 +200,8 @@ func main() {
 		stats.P50Ms, stats.P90Ms, stats.P99Ms, stats.MaxMs)
 	fmt.Printf("  cache:   %.1f%% hits, %d coalesced, %d misses\n",
 		100*stats.HitRatio, stats.Coalesced, stats.Misses)
-	fmt.Printf("  errors:  %d failed (%d rejected with 429)\n", stats.Failed, stats.Rejected)
+	fmt.Printf("  errors:  %d failed (%d rejected with 429, %d retried)\n",
+		stats.Failed, stats.Rejected, stats.Retries429)
 
 	rep := output{
 		Date:       time.Now().UTC().Format(time.RFC3339),
@@ -223,7 +262,81 @@ func issue(client *http.Client, url, spec string) (result, error) {
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
-	return result{status: resp.StatusCode, cache: resp.Header.Get("X-Cache")}, nil
+	return result{
+		status:     resp.StatusCode,
+		cache:      resp.Header.Get("X-Cache"),
+		retryAfter: resp.Header.Get("Retry-After"),
+	}, nil
+}
+
+// Backoff bounds for retried 429s: the server's Retry-After is honored as
+// a floor, doubled per consecutive rejection, and capped.
+const (
+	retryBase = 50 * time.Millisecond
+	retryCap  = 2 * time.Second
+	retryMax  = 5 // rejections tolerated per request before giving up
+)
+
+// issueRetry posts one spec, honoring 429 + Retry-After with capped
+// exponential backoff: a rejected request sleeps max(Retry-After, the
+// current backoff step) and reissues, up to retryMax rejections or the
+// run deadline. The final result carries how many 429s were absorbed, so
+// the run record separates retried rejections from failed ones.
+func issueRetry(client *http.Client, url, spec string, deadline time.Time) (result, error) {
+	backoff := retryBase
+	retries := 0
+	for {
+		r, err := issue(client, url, spec)
+		r.retries = retries
+		if err != nil || r.status != http.StatusTooManyRequests {
+			return r, err
+		}
+		if retries >= retryMax {
+			return r, nil // give up; reduce counts it as rejected
+		}
+		wait := backoff
+		if ra, err := strconv.Atoi(r.retryAfter); err == nil && ra > 0 {
+			if server := time.Duration(ra) * time.Second; server > wait {
+				wait = server
+			}
+		}
+		if wait > retryCap {
+			wait = retryCap
+		}
+		if time.Now().Add(wait).After(deadline) {
+			return r, nil // no budget left to retry into
+		}
+		time.Sleep(wait)
+		retries++
+		backoff *= 2
+	}
+}
+
+// issueSweep posts one plan to /v1/sweep and reduces the NDJSON stream to
+// its per-point accounting: the X-Sweep-* headers carry the cache profile
+// computed at dispatch, and the line count checks the one-line-per-point
+// framing.
+func issueSweep(client *http.Client, url, plan string) (result, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(plan))
+	if err != nil {
+		return result{}, err
+	}
+	defer resp.Body.Close()
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		lines++
+	}
+	r := result{status: resp.StatusCode, lines: lines}
+	atoi := func(name string) int {
+		v, _ := strconv.Atoi(resp.Header.Get(name))
+		return v
+	}
+	r.points = atoi("X-Sweep-Points")
+	r.hits = atoi("X-Sweep-Hits")
+	r.coalesced = atoi("X-Sweep-Coalesced")
+	return r, sc.Err()
 }
 
 func fetchMetrics(client *http.Client, url string) (*serve.Snapshot, error) {
@@ -246,8 +359,23 @@ func reduce(results [][]result, elapsed time.Duration) loadStats {
 	var lats []time.Duration
 	for _, rs := range results {
 		for _, r := range rs {
-			s.Requests++
 			lats = append(lats, r.latency)
+			s.Retries429 += uint64(r.retries)
+			if r.points > 0 {
+				// One sweep batch: every point is a request; the dispatch
+				// headers carry the per-point cache profile. A line count
+				// short of the point count marks lost responses.
+				s.Requests += uint64(r.points)
+				if r.status == http.StatusOK && r.lines == r.points {
+					s.Hits += uint64(r.hits)
+					s.Coalesced += uint64(r.coalesced)
+					s.Misses += uint64(r.points - r.hits - r.coalesced)
+				} else {
+					s.Failed += uint64(r.points)
+				}
+				continue
+			}
+			s.Requests++
 			switch {
 			case r.status == http.StatusOK:
 				switch r.cache {

@@ -20,45 +20,35 @@ import (
 	"fmt"
 	"os"
 
-	"dsm/internal/apps"
-	"dsm/internal/figures"
+	"dsm/internal/exper"
 	"dsm/internal/report"
-	"dsm/internal/serve"
 	"dsm/internal/trace"
 )
-
-// knownApps lists the -app values main dispatches on.
-var knownApps = map[string]bool{
-	"counter": true, "tts": true, "mcs": true,
-	"tclosure": true, "locusroute": true, "cholesky": true,
-}
 
 // parseBar validates the flag values that select a bar of the paper's
 // figures and assembles them. It is separated from main so the flag
 // validation is testable without spawning a process.
-func parseBar(policy, prim, variant string, ldex, drop bool) (figures.Bar, error) {
-	var bar figures.Bar
-	pol, err := serve.ParsePolicy(policy)
+func parseBar(policy, prim, variant string, ldex, drop bool) (exper.Bar, error) {
+	var bar exper.Bar
+	pol, err := exper.ParsePolicy(policy)
 	if err != nil {
 		return bar, err
 	}
-	pr, err := serve.ParsePrim(prim)
+	pr, err := exper.ParsePrim(prim)
 	if err != nil {
 		return bar, err
 	}
-	v, err := serve.ParseVariant(variant)
+	v, err := exper.ParseVariant(variant)
 	if err != nil {
 		return bar, err
 	}
-	return figures.Bar{Policy: pol, Prim: pr, Variant: v, LoadEx: ldex, Drop: drop}, nil
+	return exper.Bar{Policy: pol, Prim: pr, Variant: v, LoadEx: ldex, Drop: drop}, nil
 }
 
 // validateApp rejects workload names main does not dispatch on.
 func validateApp(app string) error {
-	if !knownApps[app] {
-		return fmt.Errorf("unknown app %q (want counter, tts, mcs, tclosure, locusroute, or cholesky)", app)
-	}
-	return nil
+	_, err := exper.ParseApp(app)
+	return err
 }
 
 func main() {
@@ -91,6 +81,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	workload, _ := exper.ParseApp(*app)
 
 	// In -json mode stdout carries exactly one JSON report; the human
 	// summary and trace lines go to stderr so the output stays parseable.
@@ -99,8 +90,15 @@ func main() {
 		summary = os.Stderr
 	}
 
-	o := figures.RunOpts{Procs: *procs, Rounds: *rounds, TCSize: *size}
-	m := figures.NewMachine(o, bar)
+	pt := exper.Point{
+		App:     workload,
+		Bar:     bar,
+		Scale:   exper.RunOpts{Procs: *procs, Rounds: *rounds, TCSize: *size},
+		Pattern: exper.Pattern{Contention: *cont, WriteRun: *wrun, Rounds: *rounds},
+	}
+	// The machine is built here rather than inside exper.Point.Run so a
+	// tracer can be attached before the run and its state read after.
+	m := exper.NewMachine(pt.Scale, bar)
 	var tr *trace.Buffer
 	if *traceN > 0 {
 		tr = trace.New(*traceN)
@@ -110,48 +108,26 @@ func main() {
 			tr.WriteTo(summary)
 		}()
 	}
-	pat := apps.Pattern{Contention: *cont, WriteRun: *wrun, Rounds: *rounds}
-	stats := func() {
-		r := report.Collect(m)
-		if *asJSON {
-			if err := r.WriteJSON(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "dsmsim: %v\n", err)
-				os.Exit(1)
-			}
-			return
-		}
-		r.WriteText(os.Stdout)
-	}
-	printSynthetic := func(res apps.SyntheticResult) {
+	res := pt.RunOn(m)
+
+	switch {
+	case workload.Synthetic():
 		fmt.Fprintf(summary, "updates: %d, elapsed: %d cycles, avg cycles/update: %.1f\n",
 			res.Updates, res.Elapsed, res.AvgCycles)
-		stats()
-	}
-
-	switch *app {
-	case "counter":
-		printSynthetic(apps.CounterApp(m, bar.Policy, bar.Opts(), pat))
-	case "tts":
-		printSynthetic(apps.TTSApp(m, bar.Policy, bar.Opts(), pat))
-	case "mcs":
-		printSynthetic(apps.MCSApp(m, bar.Policy, bar.Opts(), pat))
-	case "tclosure":
-		res := apps.TClosure(m, apps.TClosureConfig{
-			Size: *size, Policy: bar.Policy, Opts: bar.Opts(), Seed: 11,
-		})
-		fmt.Fprintf(summary, "elapsed: %d cycles, reachable pairs: %d\n", res.Elapsed, res.Reachable)
-		stats()
-	case "locusroute":
-		cfg := apps.DefaultLocusRoute(*procs)
-		cfg.Policy, cfg.Opts = bar.Policy, bar.Opts()
-		res := apps.LocusRoute(m, cfg)
+	case workload == exper.AppTClosure:
+		fmt.Fprintf(summary, "elapsed: %d cycles, reachable pairs: %d\n", res.Elapsed, res.Work)
+	case workload == exper.AppLocusRoute:
 		fmt.Fprintf(summary, "elapsed: %d cycles, wires routed: %d\n", res.Elapsed, res.Work)
-		stats()
-	case "cholesky":
-		cfg := apps.DefaultCholesky(*procs)
-		cfg.Policy, cfg.Opts = bar.Policy, bar.Opts()
-		res := apps.Cholesky(m, cfg)
+	case workload == exper.AppCholesky:
 		fmt.Fprintf(summary, "elapsed: %d cycles, columns factored: %d\n", res.Elapsed, res.Work)
-		stats()
 	}
+	r := report.Collect(m)
+	if *asJSON {
+		if err := r.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	r.WriteText(os.Stdout)
 }

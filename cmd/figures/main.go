@@ -22,8 +22,8 @@ import (
 	"runtime"
 	"time"
 
-	"dsm/internal/apps"
 	"dsm/internal/core"
+	"dsm/internal/exper"
 	"dsm/internal/figures"
 	"dsm/internal/locks"
 )
@@ -66,9 +66,9 @@ func main() {
 
 	if *csv {
 		section(*table1, func() { figures.WriteTable1CSVPar(os.Stdout, o.Par) })
-		section(*fig3, func() { figures.WriteSyntheticCSV(os.Stdout, "fig3", apps.CounterApp, o) })
-		section(*fig4, func() { figures.WriteSyntheticCSV(os.Stdout, "fig4", apps.TTSApp, o) })
-		section(*fig5, func() { figures.WriteSyntheticCSV(os.Stdout, "fig5", apps.MCSApp, o) })
+		section(*fig3, func() { figures.WriteSyntheticCSV(os.Stdout, "fig3", exper.AppCounter, o) })
+		section(*fig4, func() { figures.WriteSyntheticCSV(os.Stdout, "fig4", exper.AppTTS, o) })
+		section(*fig5, func() { figures.WriteSyntheticCSV(os.Stdout, "fig5", exper.AppMCS, o) })
 		section(*fig6, func() { figures.WriteFig6CSV(os.Stdout, o) })
 		if *fig2 || *all {
 			figures.Fig2(os.Stdout, o) // histograms have no flat CSV shape

@@ -1,0 +1,121 @@
+package exper
+
+import (
+	"fmt"
+
+	"dsm/internal/core"
+	"dsm/internal/locks"
+)
+
+// App identifies a workload: the three synthetic counter applications of
+// figures 3-5 and the three real applications of figures 2 and 6.
+type App uint8
+
+const (
+	AppCounter App = iota // lock-free counter (figure 3)
+	AppTTS                // counter under a TTS lock (figure 4)
+	AppMCS                // counter under an MCS lock (figure 5)
+	AppLocusRoute
+	AppCholesky
+	AppTClosure
+)
+
+// Synthetic reports whether the app is one of the pattern-driven synthetic
+// workloads (contention level and write-run length apply to it).
+func (a App) Synthetic() bool { return a <= AppMCS }
+
+// Name returns the wire name used by the HTTP spec and the dsmsim -app
+// flag: counter, tts, mcs, locusroute, cholesky, tclosure.
+func (a App) Name() string {
+	switch a {
+	case AppCounter:
+		return "counter"
+	case AppTTS:
+		return "tts"
+	case AppMCS:
+		return "mcs"
+	case AppLocusRoute:
+		return "locusroute"
+	case AppCholesky:
+		return "cholesky"
+	case AppTClosure:
+		return "tclosure"
+	}
+	return "app?"
+}
+
+// String returns the display name the figures use. The real applications
+// keep the paper's capitalized names (the figure-2/6 row labels); the
+// synthetic apps display as their wire names.
+func (a App) String() string {
+	switch a {
+	case AppLocusRoute:
+		return "LocusRoute"
+	case AppCholesky:
+		return "Cholesky"
+	case AppTClosure:
+		return "TransitiveClosure"
+	}
+	return a.Name()
+}
+
+// RealApps lists the figure 2/6 applications in paper order.
+func RealApps() []App { return []App{AppLocusRoute, AppCholesky, AppTClosure} }
+
+// ParseApp maps a wire workload name to the internal app.
+func ParseApp(s string) (App, error) {
+	switch s {
+	case "counter":
+		return AppCounter, nil
+	case "tts":
+		return AppTTS, nil
+	case "mcs":
+		return AppMCS, nil
+	case "tclosure":
+		return AppTClosure, nil
+	case "locusroute":
+		return AppLocusRoute, nil
+	case "cholesky":
+		return AppCholesky, nil
+	}
+	return 0, fmt.Errorf("unknown app %q (want counter, tts, mcs, tclosure, locusroute, or cholesky)", s)
+}
+
+// ParsePolicy maps a wire policy name to the internal coherence policy.
+func ParsePolicy(s string) (core.Policy, error) {
+	switch s {
+	case "INV":
+		return core.PolicyINV, nil
+	case "UPD":
+		return core.PolicyUPD, nil
+	case "UNC":
+		return core.PolicyUNC, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want INV, UPD, or UNC)", s)
+}
+
+// ParsePrim maps a wire primitive name to the internal primitive family.
+func ParsePrim(s string) (locks.Prim, error) {
+	switch s {
+	case "FAP":
+		return locks.PrimFAP, nil
+	case "CAS":
+		return locks.PrimCAS, nil
+	case "LLSC":
+		return locks.PrimLLSC, nil
+	}
+	return 0, fmt.Errorf("unknown primitive %q (want FAP, CAS, or LLSC)", s)
+}
+
+// ParseVariant maps a wire CAS-variant name to the internal variant.
+func ParseVariant(s string) (core.CASVariant, error) {
+	switch s {
+	case "INV":
+		return core.CASPlain, nil
+	case "INVd":
+		return core.CASDeny, nil
+	case "INVs":
+		return core.CASShare, nil
+	}
+	return 0, fmt.Errorf("unknown CAS variant %q (want INV, INVd, or INVs)", s)
+}

@@ -1,19 +1,23 @@
-// Package figures regenerates every table and figure of the paper's
-// evaluation section: Table 1 (serialized network messages per store),
-// Figure 2 (contention histograms of the real applications), Figures 3-5
-// (average time per counter update for the three synthetic applications
-// across the primitive/policy/auxiliary design space), and Figure 6 (total
-// elapsed time of the real applications). It is shared by cmd/figures and
-// the benchmark suite.
-package figures
+// Package exper is the experiment layer: it owns the paper's design space
+// (which workload, under which primitive/policy bar, at what scale and
+// sharing pattern) and executes it. A Point names one simulation, a Plan is
+// an ordered list of points, and Run fans a plan's points across host
+// workers, drawing machines from a reuse pool and returning results — with
+// optional byte-stable measurement reports — in plan order regardless of
+// completion order.
+//
+// Everything above the machine model goes through this package:
+// internal/figures renders plans as the paper's tables and figures,
+// internal/serve answers HTTP requests by running single points and batch
+// plans, and cmd/dsmsim runs one point from flags. The presentation layers
+// (figures, serve) never import each other; exper is their shared substrate
+// (see DESIGN.md §8, Layering).
+package exper
 
 import (
-	"sync"
-
 	"dsm/internal/apps"
 	"dsm/internal/core"
 	"dsm/internal/locks"
-	"dsm/internal/machine"
 )
 
 // Pattern aliases the synthetic sharing pattern for brevity.
@@ -74,7 +78,7 @@ func SyntheticBars() []Bar {
 	return bars
 }
 
-// RunOpts scales the reproduction: the full paper configuration is 64
+// RunOpts scales an experiment: the full paper configuration is 64
 // processors; smaller settings keep tests and benchmarks fast.
 type RunOpts struct {
 	Procs  int // simulated processors
@@ -100,58 +104,6 @@ func Defaults() RunOpts {
 // Small is a reduced configuration for tests and quick runs.
 func Small() RunOpts {
 	return RunOpts{Procs: 16, Rounds: 6, TCSize: 12}
-}
-
-// machinePool recycles machines between the hundreds of independent runs a
-// figure sweep performs. Machine construction dominates short runs (the
-// cache slabs alone are ~100KB per node pair), and machine.Reset restores a
-// used machine to a state that replays a fresh one cycle for cycle, so
-// reuse changes host time only. Machines of mismatched geometry (Reset
-// returns false) are simply dropped back to the GC.
-var machinePool sync.Pool
-
-// acquireMachine returns a machine configured as cfg, reusing a pooled one
-// when its structure matches.
-func acquireMachine(cfg core.Config) *machine.Machine {
-	if m, ok := machinePool.Get().(*machine.Machine); ok {
-		m.ClearPooled()
-		if m.Reset(cfg) {
-			return m
-		}
-	}
-	return machine.New(cfg)
-}
-
-// ReleaseMachine returns a machine to the reuse pool. The machine must be
-// quiescent (between runs) and must not be used by the caller afterwards.
-// Releasing the same machine twice panics: the second release would let
-// the pool hand one machine to two concurrent runs, corrupting both (the
-// same freed-flag discipline the pooled protocol messages enforce).
-func ReleaseMachine(m *machine.Machine) {
-	if m == nil {
-		return
-	}
-	if !m.MarkPooled() {
-		panic("figures: ReleaseMachine called twice on the same machine; " +
-			"the machine is pool property after the first release")
-	}
-	machinePool.Put(m)
-}
-
-// NewMachine builds (or recycles) a machine for one bar under the given
-// scale. Pair with ReleaseMachine when the machine's statistics are no
-// longer needed.
-func NewMachine(o RunOpts, b Bar) *machine.Machine {
-	cfg := core.DefaultConfig()
-	cfg.Nodes = o.Procs
-	w := 1
-	for w*w < o.Procs {
-		w++
-	}
-	cfg.Mesh.Width = w
-	cfg.Mesh.Height = (o.Procs + w - 1) / w
-	cfg.CAS = b.Variant
-	return acquireMachine(cfg)
 }
 
 // Patterns returns the paper's ten sharing patterns: no contention with

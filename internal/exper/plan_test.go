@@ -1,0 +1,161 @@
+package exper
+
+import (
+	"bytes"
+	"testing"
+
+	"dsm/internal/core"
+	"dsm/internal/locks"
+)
+
+// TestRunParallelMatchesSerial is the layer's determinism contract: a plan's
+// results are identical whether the points run serially or fanned across
+// workers — including the full collected reports, byte for byte.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	o := RunOpts{Procs: 8, Rounds: 2, TCSize: 8}
+	base := SyntheticPlan(AppCounter, o)
+	base.Points = append(base.Points,
+		Point{App: AppTClosure, Bar: Bar{Policy: core.PolicyINV, Prim: locks.PrimFAP}, Scale: o})
+	base.Collect = true
+
+	run := func(par int) []Result {
+		pl := base
+		pl.Par = par
+		return Run(pl)
+	}
+	serial := run(1)
+	for _, par := range []int{4, 0} {
+		res := run(par)
+		if len(res) != len(serial) {
+			t.Fatalf("par=%d: %d results, want %d", par, len(res), len(serial))
+		}
+		for i := range res {
+			if res[i].Elapsed != serial[i].Elapsed ||
+				res[i].Updates != serial[i].Updates ||
+				res[i].AvgCycles != serial[i].AvgCycles ||
+				res[i].Work != serial[i].Work {
+				t.Fatalf("par=%d point %d: %+v != serial %+v", par, i, res[i], serial[i])
+			}
+			var a, b bytes.Buffer
+			if err := res[i].Report.WriteJSON(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := serial[i].Report.WriteJSON(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("par=%d point %d: report differs from serial\n%s\n--- vs ---\n%s",
+					par, i, a.String(), b.String())
+			}
+		}
+	}
+}
+
+// TestPointRunDeterministic re-runs the same point and requires identical
+// results: the seed discipline plus machine reuse must replay exactly.
+func TestPointRunDeterministic(t *testing.T) {
+	p := Point{
+		App:     AppCounter,
+		Bar:     Bar{Policy: core.PolicyINV, Prim: locks.PrimCAS, LoadEx: true},
+		Scale:   RunOpts{Procs: 8, Rounds: 4},
+		Pattern: Pattern{Contention: 8, Rounds: 4},
+	}
+	first := p.Run(false)
+	for i := 0; i < 3; i++ {
+		if got := p.Run(false); got != first {
+			t.Fatalf("re-run %d: %+v != %+v", i, got, first)
+		}
+	}
+}
+
+// TestPointSeedSelectsRun checks the explicit seed changes the run (and
+// zero keeps the default).
+func TestPointSeedSelectsRun(t *testing.T) {
+	p := Point{
+		App:   AppTClosure,
+		Bar:   Bar{Policy: core.PolicyUNC, Prim: locks.PrimFAP},
+		Scale: RunOpts{Procs: 4, TCSize: 10},
+	}
+	def := p.Run(false)
+	p.Seed = 11 // the default TClosure seed, set explicitly
+	if got := p.Run(false); got != def {
+		t.Fatalf("seed 11 should match the default run: %+v != %+v", got, def)
+	}
+	p.Seed = 99
+	if got := p.Run(false); got == def {
+		t.Fatalf("seed 99 replayed the default run exactly: %+v", got)
+	}
+}
+
+func TestSyntheticPlanLayout(t *testing.T) {
+	o := RunOpts{Procs: 4, Rounds: 1}
+	bars, pats := SyntheticBars(), Patterns(o)
+	pl := SyntheticPlan(AppTTS, o)
+	if len(pl.Points) != len(bars)*len(pats) {
+		t.Fatalf("plan has %d points, want %d", len(pl.Points), len(bars)*len(pats))
+	}
+	// Pattern-major: point pi*len(bars)+bi is bar bi under pattern pi.
+	for pi, pat := range pats {
+		for bi, bar := range bars {
+			p := pl.Points[pi*len(bars)+bi]
+			if p.App != AppTTS || p.Bar.Label != bar.Label || p.Pattern != pat {
+				t.Fatalf("point (%d,%d) = %+v, want bar %q pattern %v", pi, bi, p, bar.Label, pat)
+			}
+		}
+	}
+}
+
+func TestCollectToggle(t *testing.T) {
+	pl := SyntheticPlan(AppCounter, RunOpts{Procs: 4, Rounds: 1})
+	pl.Points = pl.Points[:2]
+	for _, r := range Run(pl) {
+		if r.Report != nil {
+			t.Fatal("Collect=false attached a report")
+		}
+	}
+	pl.Collect = true
+	for _, r := range Run(pl) {
+		if r.Report == nil {
+			t.Fatal("Collect=true produced a nil report")
+		}
+		if r.Report.Procs != 4 {
+			t.Fatalf("report procs = %d, want 4", r.Report.Procs)
+		}
+	}
+}
+
+// TestCollectedReportSurvivesPoolReuse pins the aliasing contract: a
+// collected report must stay valid after its machine returns to the pool
+// and is reused by later points.
+func TestCollectedReportSurvivesPoolReuse(t *testing.T) {
+	o := RunOpts{Procs: 8, Rounds: 2}
+	hot := Point{
+		App: AppCounter, Bar: Bar{Policy: core.PolicyINV, Prim: locks.PrimFAP},
+		Scale: o, Pattern: Pattern{Contention: 8, Rounds: o.Rounds},
+	}
+	first := hot.Run(true)
+	total := first.Report.Contention.Total()
+	mean := first.Report.Contention.Mean()
+	// Churn the pool with different runs that would clobber a live alias.
+	cold := hot
+	cold.Pattern = Pattern{Contention: 1, Rounds: o.Rounds}
+	for i := 0; i < 4; i++ {
+		cold.Run(false)
+	}
+	if first.Report.Contention.Total() != total || first.Report.Contention.Mean() != mean {
+		t.Fatalf("report histogram mutated by pool reuse: total %d->%d mean %.3f->%.3f",
+			total, first.Report.Contention.Total(), mean, first.Report.Contention.Mean())
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, a := range []App{AppCounter, AppTTS, AppMCS, AppTClosure, AppLocusRoute, AppCholesky} {
+		got, err := ParseApp(a.Name())
+		if err != nil || got != a {
+			t.Fatalf("ParseApp(%q) = %v, %v", a.Name(), got, err)
+		}
+	}
+	if _, err := ParseApp("nope"); err == nil {
+		t.Fatal("ParseApp accepted junk")
+	}
+}

@@ -1,0 +1,60 @@
+package exper
+
+import (
+	"sync"
+
+	"dsm/internal/core"
+	"dsm/internal/machine"
+)
+
+// machinePool recycles machines between the hundreds of independent runs a
+// plan performs. Machine construction dominates short runs (the cache
+// slabs alone are ~100KB per node pair), and machine.Reset restores a used
+// machine to a state that replays a fresh one cycle for cycle, so reuse
+// changes host time only. Machines of mismatched geometry (Reset returns
+// false) are simply dropped back to the GC.
+var machinePool sync.Pool
+
+// AcquireMachine returns a machine configured as cfg, reusing a pooled one
+// when its structure matches. Pair with ReleaseMachine.
+func AcquireMachine(cfg core.Config) *machine.Machine {
+	if m, ok := machinePool.Get().(*machine.Machine); ok {
+		m.ClearPooled()
+		if m.Reset(cfg) {
+			return m
+		}
+	}
+	return machine.New(cfg)
+}
+
+// ReleaseMachine returns a machine to the reuse pool. The machine must be
+// quiescent (between runs) and must not be used by the caller afterwards.
+// Releasing the same machine twice panics: the second release would let
+// the pool hand one machine to two concurrent runs, corrupting both (the
+// same freed-flag discipline the pooled protocol messages enforce).
+func ReleaseMachine(m *machine.Machine) {
+	if m == nil {
+		return
+	}
+	if !m.MarkPooled() {
+		panic("exper: ReleaseMachine called twice on the same machine; " +
+			"the machine is pool property after the first release")
+	}
+	machinePool.Put(m)
+}
+
+// NewMachine builds (or recycles) a machine for one bar under the given
+// scale. Pair with ReleaseMachine when the machine's statistics are no
+// longer needed.
+func NewMachine(o RunOpts, b Bar) *machine.Machine {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = o.Procs
+	w := 1
+	for w*w < o.Procs {
+		w++
+	}
+	cfg.Mesh.Width = w
+	cfg.Mesh.Height = (o.Procs + w - 1) / w
+	cfg.CAS = b.Variant
+	return AcquireMachine(cfg)
+}

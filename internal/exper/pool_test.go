@@ -1,0 +1,39 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dsm/internal/core"
+	"dsm/internal/locks"
+)
+
+func TestReleaseMachineTwicePanics(t *testing.T) {
+	m := NewMachine(Small(), Bar{Policy: core.PolicyUNC, Prim: locks.PrimFAP})
+	ReleaseMachine(m)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double ReleaseMachine did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "ReleaseMachine called twice") {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	ReleaseMachine(m)
+}
+
+func TestReleaseMachineNilIsNoop(t *testing.T) {
+	ReleaseMachine(nil) // must not panic
+}
+
+func TestReacquiredMachineIsReleasable(t *testing.T) {
+	bar := Bar{Policy: core.PolicyUNC, Prim: locks.PrimFAP}
+	// A machine that comes back out of the pool must be releasable again
+	// without tripping the double-release guard.
+	for i := 0; i < 3; i++ {
+		m := NewMachine(Small(), bar)
+		ReleaseMachine(m)
+	}
+}

@@ -1,0 +1,39 @@
+package exper
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSweepRunsEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{1, 2, 7, 0} {
+		const n = 100
+		var counts [n]atomic.Int32
+		Sweep(n, par, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("par=%d: job %d ran %d times", par, i, c)
+			}
+		}
+	}
+}
+
+func TestSweepZeroJobs(t *testing.T) {
+	called := false
+	Sweep(0, 4, func(int) { called = true })
+	Sweep(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("job ran for n <= 0")
+	}
+}
+
+func TestSweepSerialOrder(t *testing.T) {
+	// par == 1 must run jobs in index order on the calling goroutine.
+	var order []int
+	Sweep(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial sweep order = %v", order)
+		}
+	}
+}

@@ -4,10 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"dsm/internal/apps"
-	"dsm/internal/core"
-	"dsm/internal/locks"
-	"dsm/internal/machine"
+	"dsm/internal/exper"
 )
 
 // WriteTable1CSV renders Table 1 as CSV (case,paper,measured).
@@ -16,14 +13,14 @@ func WriteTable1CSV(w io.Writer) { WriteTable1CSVPar(w, 0) }
 // WriteTable1CSVPar is WriteTable1CSV with an explicit sweep width.
 func WriteTable1CSVPar(w io.Writer, par int) {
 	fmt.Fprintln(w, "case,paper,measured")
-	for _, r := range Table1Par(par) {
+	for _, r := range exper.Table1Par(par) {
 		fmt.Fprintf(w, "%q,%d,%d\n", r.Case, r.Paper, r.Got)
 	}
 }
 
 // WriteSyntheticCSV renders one of figures 3-5 as CSV rows of
 // (bar,pattern,avg_cycles_per_update).
-func WriteSyntheticCSV(w io.Writer, name string, app func(*machine.Machine, core.Policy, locks.Options, apps.Pattern) apps.SyntheticResult, o RunOpts) {
+func WriteSyntheticCSV(w io.Writer, name string, app exper.App, o RunOpts) {
 	grid, bars, pats := SyntheticFigure(app, o)
 	fmt.Fprintln(w, "figure,bar,pattern,avg_cycles")
 	for pi, pat := range pats {

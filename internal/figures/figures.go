@@ -1,89 +1,24 @@
+// Package figures renders every table and figure of the paper's evaluation
+// section as text or CSV: Table 1 (serialized network messages per store),
+// Figure 2 (contention histograms of the real applications), Figures 3-5
+// (average time per counter update for the three synthetic applications
+// across the primitive/policy/auxiliary design space), and Figure 6 (total
+// elapsed time of the real applications). It is pure presentation:
+// experiment execution — the point specs, the machine reuse pool, and the
+// parallel sweep executor — lives in internal/exper, and this package only
+// builds plans, runs them through exper, and formats the results. It is
+// shared by cmd/figures and the benchmark suite.
 package figures
 
 import (
 	"fmt"
 	"io"
 
-	"dsm/internal/apps"
-	"dsm/internal/arch"
 	"dsm/internal/core"
+	"dsm/internal/exper"
 	"dsm/internal/locks"
-	"dsm/internal/machine"
 	"dsm/internal/stats"
 )
-
-// Table1Row is one measured row of Table 1.
-type Table1Row struct {
-	Case  string
-	Paper int // serialized messages the paper reports
-	Got   int // serialized messages measured from the simulator
-}
-
-// Table1 measures the serialized network message counts for stores under
-// every coherence situation of the paper's Table 1, by constructing each
-// situation directly and reading the transaction's chain length. Runs are
-// fanned across GOMAXPROCS workers; use Table1Par to control the width.
-func Table1() []Table1Row { return Table1Par(0) }
-
-// Table1Par is Table1 with an explicit sweep width (see Sweep).
-func Table1Par(par int) []Table1Row {
-	cfg := core.DefaultConfig()
-	measureStore := func(policy core.Policy, setup func(m *machine.Machine, a arch.Addr)) int {
-		m := acquireMachine(cfg)
-		defer ReleaseMachine(m)
-		a := m.AllocSyncAt(9, policy) // remote home for nodes 0-2
-		if setup != nil {
-			setup(m, a)
-		}
-		chain := -1
-		progs := make([]func(*machine.Proc), m.Procs())
-		progs[0] = func(p *machine.Proc) {
-			chain = p.Do(core.Request{Op: core.OpStore, Addr: a, Val: 1}).Chain
-		}
-		m.RunEach(progs)
-		return chain
-	}
-	runOn := func(m *machine.Machine, node int, f func(p *machine.Proc)) {
-		progs := make([]func(*machine.Proc), m.Procs())
-		progs[node] = f
-		m.RunEach(progs)
-	}
-
-	cases := []struct {
-		name   string
-		paper  int
-		policy core.Policy
-		setup  func(m *machine.Machine, a arch.Addr)
-	}{
-		{"UNC", 2, core.PolicyUNC, nil},
-		{"INV to cached exclusive", 0, core.PolicyINV,
-			func(m *machine.Machine, a arch.Addr) {
-				runOn(m, 0, func(p *machine.Proc) { p.Store(a, 7) })
-			}},
-		{"INV to remote exclusive", 4, core.PolicyINV,
-			func(m *machine.Machine, a arch.Addr) {
-				runOn(m, 1, func(p *machine.Proc) { p.Store(a, 7) })
-			}},
-		{"INV to remote shared", 3, core.PolicyINV,
-			func(m *machine.Machine, a arch.Addr) {
-				runOn(m, 1, func(p *machine.Proc) { p.Load(a) })
-				runOn(m, 2, func(p *machine.Proc) { p.Load(a) })
-			}},
-		{"INV to uncached", 2, core.PolicyINV, nil},
-		{"UPD to cached", 3, core.PolicyUPD,
-			func(m *machine.Machine, a arch.Addr) {
-				runOn(m, 1, func(p *machine.Proc) { p.Load(a) })
-			}},
-		{"UPD to uncached", 2, core.PolicyUPD, nil},
-	}
-
-	rows := make([]Table1Row, len(cases))
-	Sweep(len(cases), par, func(i int) {
-		c := cases[i]
-		rows[i] = Table1Row{Case: c.name, Paper: c.paper, Got: measureStore(c.policy, c.setup)}
-	})
-	return rows
-}
 
 // WriteTable1 renders Table 1 with paper-vs-measured columns.
 func WriteTable1(w io.Writer) { WriteTable1Par(w, 0) }
@@ -92,7 +27,7 @@ func WriteTable1(w io.Writer) { WriteTable1Par(w, 0) }
 func WriteTable1Par(w io.Writer, par int) {
 	fmt.Fprintln(w, "Table 1: serialized network messages for stores to shared memory")
 	fmt.Fprintf(w, "%-28s %6s %9s\n", "case", "paper", "measured")
-	for _, r := range Table1Par(par) {
+	for _, r := range exper.Table1Par(par) {
 		mark := ""
 		if r.Got != r.Paper {
 			mark = "  MISMATCH"
@@ -105,30 +40,25 @@ func WriteTable1Par(w io.Writer, par int) {
 
 // SyntheticFigure runs one of figures 3-5: every bar under every sharing
 // pattern, returning average cycles per counter update indexed as
-// [pattern][bar]. The pattern x bar runs are independent simulations and
-// are fanned across o.Par workers; the grid is indexed, not appended, so
-// results land in serial order regardless of completion order.
-func SyntheticFigure(app func(*machine.Machine, core.Policy, locks.Options, apps.Pattern) apps.SyntheticResult, o RunOpts) ([][]float64, []Bar, []Pattern) {
-	bars := SyntheticBars()
-	pats := Patterns(o)
+// [pattern][bar]. The pattern x bar grid is one exper plan fanned across
+// o.Par workers; results land in plan order regardless of completion order.
+func SyntheticFigure(app exper.App, o RunOpts) ([][]float64, []Bar, []Pattern) {
+	bars := exper.SyntheticBars()
+	pats := exper.Patterns(o)
+	res := exper.Run(exper.SyntheticPlan(app, o))
 	grid := make([][]float64, len(pats))
 	for pi := range grid {
 		grid[pi] = make([]float64, len(bars))
+		for bi := range bars {
+			grid[pi][bi] = res[pi*len(bars)+bi].AvgCycles
+		}
 	}
-	Sweep(len(pats)*len(bars), o.Par, func(i int) {
-		pi, bi := i/len(bars), i%len(bars)
-		bar := bars[bi]
-		m := NewMachine(o, bar)
-		res := app(m, bar.Policy, bar.Opts(), pats[pi])
-		ReleaseMachine(m)
-		grid[pi][bi] = res.AvgCycles
-	})
 	return grid, bars, pats
 }
 
 // WriteSyntheticFigure renders one of figures 3-5 as a bar-label by
 // pattern matrix of average cycles per update.
-func WriteSyntheticFigure(w io.Writer, title string, app func(*machine.Machine, core.Policy, locks.Options, apps.Pattern) apps.SyntheticResult, o RunOpts) {
+func WriteSyntheticFigure(w io.Writer, title string, app exper.App, o RunOpts) {
 	grid, bars, pats := SyntheticFigure(app, o)
 	fmt.Fprintf(w, "%s (p=%d, avg cycles per counter update)\n", title, o.Procs)
 	fmt.Fprintf(w, "%-18s", "")
@@ -147,83 +77,37 @@ func WriteSyntheticFigure(w io.Writer, title string, app func(*machine.Machine, 
 
 // Fig3 runs figure 3 (lock-free counter).
 func Fig3(w io.Writer, o RunOpts) {
-	WriteSyntheticFigure(w, "Figure 3: lock-free counter", apps.CounterApp, o)
+	WriteSyntheticFigure(w, "Figure 3: lock-free counter", exper.AppCounter, o)
 }
 
 // Fig4 runs figure 4 (counter under test-and-test-and-set lock).
 func Fig4(w io.Writer, o RunOpts) {
-	WriteSyntheticFigure(w, "Figure 4: TTS-lock counter", apps.TTSApp, o)
+	WriteSyntheticFigure(w, "Figure 4: TTS-lock counter", exper.AppTTS, o)
 }
 
 // Fig5 runs figure 5 (counter under MCS lock).
 func Fig5(w io.Writer, o RunOpts) {
-	WriteSyntheticFigure(w, "Figure 5: MCS-lock counter", apps.MCSApp, o)
+	WriteSyntheticFigure(w, "Figure 5: MCS-lock counter", exper.AppMCS, o)
 }
 
 // ------------------------------------------------------- figures 2 & 6 ---
 
-// RealApp identifies one of the paper's real applications.
-type RealApp uint8
-
-const (
-	AppLocusRoute RealApp = iota
-	AppCholesky
-	AppTClosure
-)
-
-// String returns the application name.
-func (a RealApp) String() string {
-	switch a {
-	case AppLocusRoute:
-		return "LocusRoute"
-	case AppCholesky:
-		return "Cholesky"
-	case AppTClosure:
-		return "TransitiveClosure"
+// fig2Plan is the figure-2 grid: each real application under each policy,
+// app-major, with full reports collected (the histogram and write-run
+// numbers render from the report, not the machine).
+func fig2Plan(o RunOpts) (exper.Plan, []RealApp, []core.Policy) {
+	realApps := exper.RealApps()
+	pols := []core.Policy{core.PolicyINV, core.PolicyUNC, core.PolicyUPD}
+	pl := exper.Plan{Par: o.Par, Collect: true,
+		Points: make([]exper.Point, 0, len(realApps)*len(pols))}
+	for _, app := range realApps {
+		for _, pol := range pols {
+			pl.Points = append(pl.Points, exper.Point{
+				App: app, Bar: Bar{Policy: pol, Prim: locks.PrimFAP}, Scale: o,
+			})
+		}
 	}
-	return "App?"
-}
-
-// RealApps lists the figure 2/6 applications in paper order.
-func RealApps() []RealApp { return []RealApp{AppLocusRoute, AppCholesky, AppTClosure} }
-
-// RunReal executes one real application under one bar configuration and
-// returns the machine (for its statistics) and the total elapsed cycles.
-// LocusRoute and Cholesky use lock-based synchronization (the paper
-// replaced the SPLASH library locks with TTS locks built on the primitive
-// under study); Transitive Closure uses the lock-free counter.
-func RunReal(app RealApp, o RunOpts, bar Bar) (*machine.Machine, uint64) {
-	m := NewMachine(o, bar)
-	switch app {
-	case AppLocusRoute:
-		cfg := apps.DefaultLocusRoute(o.Procs)
-		if o.Wires > 0 {
-			cfg.Wires = o.Wires
-		}
-		cfg.Policy = bar.Policy
-		cfg.Opts = bar.Opts()
-		res := apps.LocusRoute(m, cfg)
-		return m, uint64(res.Elapsed)
-	case AppCholesky:
-		cfg := apps.DefaultCholesky(o.Procs)
-		if o.Columns > 0 {
-			cfg.Columns = o.Columns
-		}
-		cfg.Policy = bar.Policy
-		cfg.Opts = bar.Opts()
-		res := apps.Cholesky(m, cfg)
-		return m, uint64(res.Elapsed)
-	case AppTClosure:
-		cfg := apps.TClosureConfig{
-			Size:   o.TCSize,
-			Policy: bar.Policy,
-			Opts:   bar.Opts(),
-			Seed:   11,
-		}
-		res := apps.TClosure(m, cfg)
-		return m, uint64(res.Elapsed)
-	}
-	panic("figures: unknown app")
+	return pl, realApps, pols
 }
 
 // Fig2 renders the contention histograms and write-run measurements of the
@@ -233,28 +117,16 @@ func RunReal(app RealApp, o RunOpts, bar Bar) (*machine.Machine, uint64) {
 func Fig2(w io.Writer, o RunOpts) {
 	fmt.Fprintf(w, "Figure 2: contention histograms (p=%d; %% of accesses at each level)\n", o.Procs)
 	levels := []int{1, 2, 3, 4, 8, 16, 32, 48, 64}
-	realApps := RealApps()
-	pols := []core.Policy{core.PolicyINV, core.PolicyUNC, core.PolicyUPD}
-	// Run the app x policy grid in parallel, retaining each machine for its
-	// statistics; render serially afterwards in the fixed grid order.
-	machines := make([]*machine.Machine, len(realApps)*len(pols))
-	Sweep(len(machines), o.Par, func(i int) {
+	pl, realApps, pols := fig2Plan(o)
+	results := exper.Run(pl)
+	for i, res := range results {
 		app, pol := realApps[i/len(pols)], pols[i%len(pols)]
-		m, _ := RunReal(app, o, Bar{Policy: pol, Prim: locks.PrimFAP})
-		machines[i] = m
-	})
-	for i, m := range machines {
-		app, pol := realApps[i/len(pols)], pols[i%len(pols)]
-		hist := m.System().Contention().Histogram()
-		wr := m.System().WriteRuns()
-		wr.Flush()
-		fmt.Fprintf(w, "%-18s %-3s  write-run %.2f  |", app, pol, wr.Mean())
+		fmt.Fprintf(w, "%-18s %-3s  write-run %.2f  |", app, pol, res.Report.WriteRunMean)
 		for _, lv := range levels {
 			// Bucket: sum counts in (prev, lv].
-			fmt.Fprintf(w, " %2d:%5.1f%%", lv, bucketPercent(hist, levels, lv))
+			fmt.Fprintf(w, " %2d:%5.1f%%", lv, bucketPercent(res.Report.Contention, levels, lv))
 		}
 		fmt.Fprintln(w)
-		ReleaseMachine(m)
 	}
 }
 
@@ -274,42 +146,25 @@ func bucketPercent(h *stats.Histogram, levels []int, level int) float64 {
 	return sum
 }
 
-// TCEfficiency measures Transitive Closure's parallel efficiency at the
-// given scale: T(1) / (p * T(p)), the metric behind the paper's "achieves
-// an acceptable efficiency of 45% on 64 processors".
-func TCEfficiency(o RunOpts, bar Bar) float64 {
-	single := o
-	single.Procs = 1
-	var t1, tp uint64
-	Sweep(2, o.Par, func(i int) {
-		if i == 0 {
-			m, e := RunReal(AppTClosure, single, bar)
-			ReleaseMachine(m)
-			t1 = e
-		} else {
-			m, e := RunReal(AppTClosure, o, bar)
-			ReleaseMachine(m)
-			tp = e
-		}
-	})
-	return float64(t1) / (float64(o.Procs) * float64(tp))
-}
-
 // fig6Grid runs every bar x application combination, returning total
 // elapsed cycles indexed as [bar][app].
 func fig6Grid(o RunOpts) ([][]uint64, []Bar, []RealApp) {
-	bars := SyntheticBars()
-	realApps := RealApps()
+	bars := exper.SyntheticBars()
+	realApps := exper.RealApps()
+	pl := exper.Plan{Par: o.Par, Points: make([]exper.Point, 0, len(bars)*len(realApps))}
+	for _, bar := range bars {
+		for _, app := range realApps {
+			pl.Points = append(pl.Points, exper.Point{App: app, Bar: bar, Scale: o})
+		}
+	}
+	res := exper.Run(pl)
 	grid := make([][]uint64, len(bars))
 	for bi := range grid {
 		grid[bi] = make([]uint64, len(realApps))
+		for ai := range realApps {
+			grid[bi][ai] = res[bi*len(realApps)+ai].Elapsed
+		}
 	}
-	Sweep(len(bars)*len(realApps), o.Par, func(i int) {
-		bi, ai := i/len(realApps), i%len(realApps)
-		m, elapsed := RunReal(realApps[ai], o, bars[bi])
-		ReleaseMachine(m)
-		grid[bi][ai] = elapsed
-	})
 	return grid, bars, realApps
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"dsm/internal/apps"
 	"dsm/internal/core"
+	"dsm/internal/exper"
 	"dsm/internal/locks"
 )
 
@@ -173,7 +174,7 @@ func TestTCEfficiencyGrowsWithProblemSize(t *testing.T) {
 
 func TestSyntheticFigureGridShape(t *testing.T) {
 	o := RunOpts{Procs: 4, Rounds: 1}
-	grid, bars, pats := SyntheticFigure(apps.CounterApp, o)
+	grid, bars, pats := SyntheticFigure(exper.AppCounter, o)
 	if len(grid) != len(pats) {
 		t.Fatalf("grid rows = %d, patterns = %d", len(grid), len(pats))
 	}

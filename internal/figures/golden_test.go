@@ -7,8 +7,8 @@ import (
 	"os"
 	"testing"
 
-	"dsm/internal/apps"
 	"dsm/internal/core"
+	"dsm/internal/exper"
 	"dsm/internal/locks"
 )
 
@@ -65,9 +65,9 @@ func TestGoldenFigures(t *testing.T) {
 // parallelism across runs must not leak into results.
 func TestGoldenFiguresParallelIdentical(t *testing.T) {
 	o := goldenOpts()
-	serial, _, _ := SyntheticFigure(apps.CounterApp, o)
+	serial, _, _ := SyntheticFigure(exper.AppCounter, o)
 	o.Par = 0
-	par, _, _ := SyntheticFigure(apps.CounterApp, o)
+	par, _, _ := SyntheticFigure(exper.AppCounter, o)
 	for pi := range serial {
 		for bi := range serial[pi] {
 			if serial[pi][bi] != par[pi][bi] {

@@ -2,37 +2,23 @@ package figures
 
 import (
 	"bytes"
-	"sync/atomic"
 	"testing"
 
-	"dsm/internal/apps"
+	"dsm/internal/exper"
 )
 
-func TestSweepRunsEveryIndexOnce(t *testing.T) {
-	for _, par := range []int{0, 1, 2, 7, 100} {
-		const n = 37
-		var counts [n]atomic.Int32
-		Sweep(n, par, func(i int) { counts[i].Add(1) })
-		for i := range counts {
-			if c := counts[i].Load(); c != 1 {
-				t.Fatalf("par=%d: job %d ran %d times, want 1", par, i, c)
-			}
-		}
-	}
-}
+// The bare Sweep executor is tested in internal/exper (it lives there
+// now); these tests pin the rendering layer's determinism contract on top
+// of it: byte-identical figure output for any sweep width.
 
-func TestSweepZeroJobs(t *testing.T) {
-	Sweep(0, 4, func(i int) { t.Fatal("job ran for n=0") })
-}
-
-// TestParallelSyntheticCSVDeterminism checks the tentpole's determinism
-// contract: the same seed and scale produce byte-identical figure CSV
-// whether runs execute serially or fanned across workers.
+// TestParallelSyntheticCSVDeterminism checks the determinism contract:
+// the same seed and scale produce byte-identical figure CSV whether runs
+// execute serially or fanned across workers.
 func TestParallelSyntheticCSVDeterminism(t *testing.T) {
 	render := func(par int) string {
 		o := RunOpts{Procs: 8, Rounds: 2, Par: par}
 		var b bytes.Buffer
-		WriteSyntheticCSV(&b, "fig3", apps.CounterApp, o)
+		WriteSyntheticCSV(&b, "fig3", exper.AppCounter, o)
 		return b.String()
 	}
 	serial := render(1)
@@ -76,7 +62,7 @@ func TestParallelTable1Determinism(t *testing.T) {
 }
 
 // TestParallelFig2Determinism checks the contention-histogram rendering
-// (which retains whole machines across the sweep) is order-stable.
+// (whose plan collects whole reports across the sweep) is order-stable.
 func TestParallelFig2Determinism(t *testing.T) {
 	render := func(par int) string {
 		o := RunOpts{Procs: 8, Rounds: 2, TCSize: 8, Par: par}

@@ -11,7 +11,7 @@ import (
 
 	"dsm/internal/apps"
 	"dsm/internal/core"
-	"dsm/internal/figures"
+	"dsm/internal/exper"
 	"dsm/internal/locks"
 	"dsm/internal/mesh"
 	"dsm/internal/sim"
@@ -54,8 +54,8 @@ func Engine(b *testing.B) {
 // sweepOpts is the reduced scale the Sweep benchmarks run at: large enough
 // that each of the 210 pattern x bar runs does real protocol work, small
 // enough for -bench iterations to be affordable.
-func sweepOpts(par int) figures.RunOpts {
-	return figures.RunOpts{Procs: 8, Rounds: 3, Par: par}
+func sweepOpts(par int) exper.RunOpts {
+	return exper.RunOpts{Procs: 8, Rounds: 3, Par: par}
 }
 
 // Sweep regenerates a reduced figure-3 grid (every bar x pattern) with the
@@ -64,7 +64,7 @@ func sweepOpts(par int) figures.RunOpts {
 func Sweep(par int) func(b *testing.B) {
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			figures.SyntheticFigure(apps.CounterApp, sweepOpts(par))
+			exper.Run(exper.SyntheticPlan(exper.AppCounter, sweepOpts(par)))
 		}
 	}
 }
@@ -114,15 +114,15 @@ func MeshTransit(dist int, routers bool) func(b *testing.B) {
 // preallocated proc callbacks, protocol layer) rather than the bare engine.
 func MachineRun(b *testing.B) {
 	b.ReportAllocs()
-	bar := figures.Bar{Policy: core.PolicyUNC, Prim: locks.PrimFAP}
-	o := figures.RunOpts{Procs: 8, Rounds: 3}
+	bar := exper.Bar{Policy: core.PolicyUNC, Prim: locks.PrimFAP}
+	o := exper.RunOpts{Procs: 8, Rounds: 3}
 	pat := apps.Pattern{Contention: 8, Rounds: o.Rounds}
 	var events uint64
 	for i := 0; i < b.N; i++ {
-		m := figures.NewMachine(o, bar)
+		m := exper.NewMachine(o, bar)
 		apps.CounterApp(m, bar.Policy, bar.Opts(), pat)
 		events += m.Engine().EventsExecuted()
-		figures.ReleaseMachine(m)
+		exper.ReleaseMachine(m)
 	}
 	sec := b.Elapsed().Seconds()
 	if events > 0 && sec > 0 {

@@ -54,11 +54,16 @@ type Report struct {
 // in-progress runs, so collect once at the end of a run.
 func Collect(m *machine.Machine) *Report {
 	sys := m.System()
+	// Snapshot the contention histogram rather than aliasing the machine's
+	// live one: the machine may be released to a pool and reset (clobbering
+	// its trackers) while the report is still being read.
+	cont := stats.NewHistogram()
+	cont.Merge(sys.Contention().Histogram())
 	r := &Report{
 		Procs:      m.Procs(),
 		Protocol:   sys.Counters(),
 		Network:    m.Mesh().Stats(),
-		Contention: sys.Contention().Histogram(),
+		Contention: cont,
 	}
 	for i := 0; i < m.Procs(); i++ {
 		ms := sys.Home(mesh.NodeID(i)).Memory().Stats()

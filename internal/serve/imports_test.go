@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLayeringNoPresentationImports enforces the dependency rule of the
+// experiment layer split: serve and figures are sibling consumers of
+// internal/exper and must never import each other. The test parses the
+// import lists of both packages' non-test sources, so a violation fails
+// here even before it would show up as an import cycle.
+func TestLayeringNoPresentationImports(t *testing.T) {
+	check := func(dir, forbidden string) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fset := token.NewFileSet()
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) == forbidden {
+					t.Errorf("%s imports %s: serve and figures must stay independent consumers of internal/exper", path, forbidden)
+				}
+			}
+		}
+	}
+	check(".", "dsm/internal/figures")
+	check("../figures", "dsm/internal/serve")
+}

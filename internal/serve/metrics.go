@@ -52,6 +52,25 @@ func (h *latencyHist) mean() float64 {
 	return float64(h.sumUS.Load()) / float64(n)
 }
 
+// LatencyBucket is one non-empty bucket of the exported latency histogram:
+// Count requests finished in at most LeUS microseconds (and more than half
+// that — the buckets are powers of two).
+type LatencyBucket struct {
+	LeUS  uint64 `json:"le_us"`
+	Count uint64 `json:"count"`
+}
+
+// bucketsSnapshot exports the non-empty buckets in increasing bound order.
+func (h *latencyHist) bucketsSnapshot() []LatencyBucket {
+	var out []LatencyBucket
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			out = append(out, LatencyBucket{LeUS: 1 << i, Count: n})
+		}
+	}
+	return out
+}
+
 // metrics holds the service counters behind /metrics. All fields are
 // atomics; Snapshot assembles a consistent-enough view (counters are
 // monotonic, exactness across fields is not required).
@@ -65,7 +84,15 @@ type metrics struct {
 	timeouts   atomic.Uint64 // gave up waiting (per-request deadline)
 	errors     atomic.Uint64 // internal failures answered with 500
 	runs       atomic.Uint64 // simulations actually executed
-	latency    latencyHist
+
+	sweeps         atomic.Uint64 // /v1/sweep plans accepted for processing
+	sweepPoints    atomic.Uint64 // points across all accepted plans
+	sweepHits      atomic.Uint64 // sweep points served from the result cache
+	sweepMisses    atomic.Uint64 // sweep points that dispatched a new simulation
+	sweepCoalesced atomic.Uint64 // sweep points merged into an in-flight run
+	sweepErrors    atomic.Uint64 // sweep points answered with an error line
+
+	latency latencyHist
 }
 
 // Snapshot is the exported /metrics payload. Field order is the JSON
@@ -81,33 +108,54 @@ type Snapshot struct {
 	Errors      uint64 `json:"errors"`
 	Runs        uint64 `json:"runs"`
 
+	Sweeps         uint64 `json:"sweeps"`
+	SweepPoints    uint64 `json:"sweep_points"`
+	SweepHits      uint64 `json:"sweep_hits"`
+	SweepMisses    uint64 `json:"sweep_misses"`
+	SweepCoalesced uint64 `json:"sweep_coalesced"`
+	SweepErrors    uint64 `json:"sweep_errors"`
+
+	// FlightMerges is the total single-flight merge count: requests (single
+	// or sweep points) that joined an identical in-flight simulation instead
+	// of running their own.
+	FlightMerges uint64 `json:"flight_merges"`
+
 	CacheEntries   int    `json:"cache_entries"`
 	CacheEvictions uint64 `json:"cache_evictions"`
 	QueueDepth     int    `json:"queue_depth"`
 	Workers        int    `json:"workers"`
 
-	LatencyCount  uint64  `json:"latency_count"`
-	LatencyMeanUS float64 `json:"latency_mean_us"`
-	LatencyP50US  uint64  `json:"latency_p50_us"`
-	LatencyP90US  uint64  `json:"latency_p90_us"`
-	LatencyP99US  uint64  `json:"latency_p99_us"`
+	LatencyCount   uint64          `json:"latency_count"`
+	LatencyMeanUS  float64         `json:"latency_mean_us"`
+	LatencyP50US   uint64          `json:"latency_p50_us"`
+	LatencyP90US   uint64          `json:"latency_p90_us"`
+	LatencyP99US   uint64          `json:"latency_p99_us"`
+	LatencyBuckets []LatencyBucket `json:"latency_buckets_us"`
 }
 
 func (m *metrics) snapshot() Snapshot {
 	return Snapshot{
-		Requests:      m.requests.Load(),
-		BadRequests:   m.badRequest.Load(),
-		CacheHits:     m.hits.Load(),
-		CacheMisses:   m.misses.Load(),
-		Coalesced:     m.coalesced.Load(),
-		Rejected:      m.rejected.Load(),
-		Timeouts:      m.timeouts.Load(),
-		Errors:        m.errors.Load(),
-		Runs:          m.runs.Load(),
-		LatencyCount:  m.latency.count.Load(),
-		LatencyMeanUS: m.latency.mean(),
-		LatencyP50US:  m.latency.quantile(0.50),
-		LatencyP90US:  m.latency.quantile(0.90),
-		LatencyP99US:  m.latency.quantile(0.99),
+		Requests:       m.requests.Load(),
+		BadRequests:    m.badRequest.Load(),
+		CacheHits:      m.hits.Load(),
+		CacheMisses:    m.misses.Load(),
+		Coalesced:      m.coalesced.Load(),
+		Rejected:       m.rejected.Load(),
+		Timeouts:       m.timeouts.Load(),
+		Errors:         m.errors.Load(),
+		Runs:           m.runs.Load(),
+		Sweeps:         m.sweeps.Load(),
+		SweepPoints:    m.sweepPoints.Load(),
+		SweepHits:      m.sweepHits.Load(),
+		SweepMisses:    m.sweepMisses.Load(),
+		SweepCoalesced: m.sweepCoalesced.Load(),
+		SweepErrors:    m.sweepErrors.Load(),
+		FlightMerges:   m.coalesced.Load() + m.sweepCoalesced.Load(),
+		LatencyCount:   m.latency.count.Load(),
+		LatencyMeanUS:  m.latency.mean(),
+		LatencyP50US:   m.latency.quantile(0.50),
+		LatencyP90US:   m.latency.quantile(0.90),
+		LatencyP99US:   m.latency.quantile(0.99),
+		LatencyBuckets: m.latency.bucketsSnapshot(),
 	}
 }

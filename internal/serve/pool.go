@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // workerPool runs simulations on a fixed set of goroutines fed by a
 // bounded queue. The queue bound is the service's backpressure valve: when
@@ -41,6 +44,25 @@ func (p *workerPool) submit(job func()) bool {
 		return true
 	default:
 		return false
+	}
+}
+
+// submitWait enqueues one job, waiting up to wait for queue space to free.
+// It polls submit rather than blocking on the channel directly so a
+// concurrent close cannot panic a pending send; the 1ms poll is noise
+// against simulation times. A wait of zero degenerates to one try. The
+// batch sweep dispatcher uses this so plans larger than the queue bound
+// drain through it instead of bouncing.
+func (p *workerPool) submitWait(job func(), wait time.Duration) bool {
+	deadline := time.Now().Add(wait)
+	for {
+		if p.submit(job) {
+			return true
+		}
+		if wait <= 0 || !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

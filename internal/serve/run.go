@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 
-	"dsm/internal/apps"
-	"dsm/internal/figures"
 	"dsm/internal/report"
 )
 
@@ -41,84 +39,23 @@ func (o *Outcome) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Run executes one canonical spec on a machine drawn from the figures
-// reuse pool and returns its outcome. The simulation is deterministic:
-// the same canonical spec always produces the same outcome, on a fresh
-// machine or a recycled one (machine.Reset replays a fresh machine cycle
-// for cycle), so Run is safe to memoize by spec key.
+// Run executes one canonical spec as an exper point on a pooled machine
+// and returns its outcome. The simulation is deterministic: the same
+// canonical spec always produces the same outcome, on a fresh machine or a
+// recycled one (machine.Reset replays a fresh machine cycle for cycle), so
+// Run is safe to memoize by spec key.
 //
 // The spec must already be normalized; Run panics on enum values
 // Normalize would have rejected.
 func Run(sp Spec) *Outcome {
-	policy := mustParse(ParsePolicy(sp.Policy))
-	prim := mustParse(ParsePrim(sp.Prim))
-	variant := mustParse(ParseVariant(sp.Variant))
-	bar := figures.Bar{
-		Policy:  policy,
-		Prim:    prim,
-		Variant: variant,
-		LoadEx:  sp.LoadEx,
-		Drop:    sp.Drop,
+	res := sp.Point().Run(true)
+	return &Outcome{
+		Spec:      sp,
+		Key:       sp.Key(),
+		Elapsed:   res.Elapsed,
+		Updates:   res.Updates,
+		AvgCycles: res.AvgCycles,
+		Work:      res.Work,
+		Report:    res.Report,
 	}
-	o := figures.RunOpts{Procs: sp.Procs, Rounds: sp.Rounds, TCSize: sp.Size}
-	m := figures.NewMachine(o, bar)
-	defer figures.ReleaseMachine(m)
-	if sp.Seed != 0 {
-		m.SetSeed(sp.Seed)
-	}
-
-	out := &Outcome{Spec: sp, Key: sp.Key()}
-	pat := apps.Pattern{Contention: sp.Contention, WriteRun: sp.WriteRun, Rounds: sp.Rounds}
-	synthetic := func(res apps.SyntheticResult) {
-		out.Elapsed = uint64(res.Elapsed)
-		out.Updates = res.Updates
-		out.AvgCycles = res.AvgCycles
-	}
-	switch sp.App {
-	case "counter":
-		synthetic(apps.CounterApp(m, policy, bar.Opts(), pat))
-	case "tts":
-		synthetic(apps.TTSApp(m, policy, bar.Opts(), pat))
-	case "mcs":
-		synthetic(apps.MCSApp(m, policy, bar.Opts(), pat))
-	case "tclosure":
-		cfg := apps.TClosureConfig{Size: sp.Size, Policy: policy, Opts: bar.Opts(), Seed: 11}
-		if sp.Seed != 0 {
-			cfg.Seed = sp.Seed
-		}
-		res := apps.TClosure(m, cfg)
-		out.Elapsed = uint64(res.Elapsed)
-		out.Work = uint64(res.Reachable)
-	case "locusroute":
-		cfg := apps.DefaultLocusRoute(sp.Procs)
-		cfg.Policy, cfg.Opts = policy, bar.Opts()
-		if sp.Seed != 0 {
-			cfg.Seed = sp.Seed
-		}
-		res := apps.LocusRoute(m, cfg)
-		out.Elapsed = uint64(res.Elapsed)
-		out.Work = res.Work
-	case "cholesky":
-		cfg := apps.DefaultCholesky(sp.Procs)
-		cfg.Policy, cfg.Opts = policy, bar.Opts()
-		if sp.Seed != 0 {
-			cfg.Seed = sp.Seed
-		}
-		res := apps.Cholesky(m, cfg)
-		out.Elapsed = uint64(res.Elapsed)
-		out.Work = res.Work
-	default:
-		panic("serve: Run on unnormalized spec app " + sp.App)
-	}
-	out.Report = report.Collect(m)
-	return out
-}
-
-// mustParse unwraps a parse-helper result on an already-normalized spec,
-// where a failure is a programming error, not bad input.
-func mustParse[T ~uint8](v T, err error) T {
-	if err != nil {
-		panic("serve: Run on unnormalized spec: " + err.Error())
-	}
-	return v
 }

@@ -60,6 +60,7 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/sim", s.handleSim)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -113,28 +114,15 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 	key := spec.Key()
 
-	if data, ok := s.cache.get(key); ok {
+	data, call, state := s.start(spec, key, 0)
+	switch state {
+	case dispatchHit:
 		s.met.hits.Add(1)
 		s.writeOutcome(w, data, "hit", key, start)
 		return
-	}
-
-	call, leader := s.flight.join(key)
-	if leader {
+	case dispatchMiss:
 		s.met.misses.Add(1)
-		ok := s.pool.submit(func() {
-			data, err := s.runEncoded(spec)
-			if err == nil {
-				s.cache.put(key, data)
-			}
-			s.flight.complete(key, call, data, err)
-		})
-		if !ok {
-			// Queue full: fail this call so any followers that joined
-			// between join and here are released too.
-			s.flight.complete(key, call, nil, errBusy)
-		}
-	} else {
+	case dispatchCoalesced:
 		s.met.coalesced.Add(1)
 	}
 
@@ -161,12 +149,52 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		s.met.errors.Add(1)
 		s.writeError(w, http.StatusInternalServerError, call.err.Error())
 	default:
-		state := "miss"
-		if !leader {
-			state = "coalesced"
+		label := "miss"
+		if state == dispatchCoalesced {
+			label = "coalesced"
 		}
-		s.writeOutcome(w, call.data, state, key, start)
+		s.writeOutcome(w, call.data, label, key, start)
 	}
+}
+
+// dispatchState classifies how start resolved a spec: already cached,
+// newly dispatched to the worker pool, or merged into an in-flight
+// identical simulation.
+type dispatchState uint8
+
+const (
+	dispatchHit dispatchState = iota
+	dispatchMiss
+	dispatchCoalesced
+)
+
+// start resolves one canonical spec without blocking on the simulation:
+// a cache hit returns the encoded bytes directly; otherwise the caller
+// gets the single-flight call to wait on. On a miss this caller's spec is
+// submitted to the worker pool, waiting up to queueWait for space (a still
+// full queue fails the call with errBusy, releasing any followers that
+// joined meanwhile); /v1/sim passes zero and turns errBusy into its 429.
+// Both the single-sim and the batch sweep handlers dispatch through here,
+// so they share one cache and one in-flight set — a sweep point coalesces
+// with a concurrent /v1/sim request for the same spec and vice versa.
+func (s *Server) start(spec Spec, key string, queueWait time.Duration) ([]byte, *flightCall, dispatchState) {
+	if data, ok := s.cache.get(key); ok {
+		return data, nil, dispatchHit
+	}
+	call, leader := s.flight.join(key)
+	if !leader {
+		return nil, call, dispatchCoalesced
+	}
+	if !s.pool.submitWait(func() {
+		data, err := s.runEncoded(spec)
+		if err == nil {
+			s.cache.put(key, data)
+		}
+		s.flight.complete(key, call, data, err)
+	}, queueWait) {
+		s.flight.complete(key, call, nil, errBusy)
+	}
+	return nil, call, dispatchMiss
 }
 
 // runEncoded executes the spec and returns its canonical JSON bytes,

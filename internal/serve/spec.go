@@ -1,12 +1,13 @@
 // Package serve turns the simulator into a long-lived service: an HTTP API
 // that accepts simulation specs (primitive x coherence policy x contention
-// point in the paper's design space), runs them on a bounded worker pool
-// drawing machines from the internal/figures reuse pool, and returns the
-// measurements as JSON. Around the pool sit a content-addressed LRU result
-// cache (canonical spec hash -> encoded report), single-flight coalescing
-// so N concurrent identical requests cost one simulation, bounded-queue
-// backpressure (429 + Retry-After), per-request deadlines, and a metrics
-// surface. cmd/dsmserve wires it to a listener; cmd/dsmload drives it.
+// point in the paper's design space), runs them as internal/exper points on
+// a bounded worker pool drawing machines from the exper reuse pool, and
+// returns the measurements as JSON. Around the pool sit a content-addressed
+// LRU result cache (canonical spec hash -> encoded report), single-flight
+// coalescing so N concurrent identical requests cost one simulation,
+// bounded-queue backpressure (429 + Retry-After), per-request deadlines, a
+// batch sweep endpoint streaming NDJSON, and a metrics surface.
+// cmd/dsmserve wires it to a listener; cmd/dsmload drives it.
 package serve
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 
 	"dsm/internal/core"
+	"dsm/internal/exper"
 	"dsm/internal/locks"
 )
 
@@ -49,55 +51,15 @@ const (
 	maxWrun   = 64
 )
 
-// apps the service knows how to run, with whether they are synthetic
-// (pattern-driven) workloads.
-var specApps = map[string]bool{
-	"counter":    true,
-	"tts":        true,
-	"mcs":        true,
-	"tclosure":   false,
-	"locusroute": false,
-	"cholesky":   false,
-}
-
 // ParsePolicy maps a wire policy name to the internal coherence policy.
-func ParsePolicy(s string) (core.Policy, error) {
-	switch s {
-	case "INV":
-		return core.PolicyINV, nil
-	case "UPD":
-		return core.PolicyUPD, nil
-	case "UNC":
-		return core.PolicyUNC, nil
-	}
-	return 0, fmt.Errorf("unknown policy %q (want INV, UPD, or UNC)", s)
-}
+// (Forwarded from internal/exper, where the wire enums live.)
+func ParsePolicy(s string) (core.Policy, error) { return exper.ParsePolicy(s) }
 
 // ParsePrim maps a wire primitive name to the internal primitive family.
-func ParsePrim(s string) (locks.Prim, error) {
-	switch s {
-	case "FAP":
-		return locks.PrimFAP, nil
-	case "CAS":
-		return locks.PrimCAS, nil
-	case "LLSC":
-		return locks.PrimLLSC, nil
-	}
-	return 0, fmt.Errorf("unknown primitive %q (want FAP, CAS, or LLSC)", s)
-}
+func ParsePrim(s string) (locks.Prim, error) { return exper.ParsePrim(s) }
 
 // ParseVariant maps a wire CAS-variant name to the internal variant.
-func ParseVariant(s string) (core.CASVariant, error) {
-	switch s {
-	case "INV":
-		return core.CASPlain, nil
-	case "INVd":
-		return core.CASDeny, nil
-	case "INVs":
-		return core.CASShare, nil
-	}
-	return 0, fmt.Errorf("unknown CAS variant %q (want INV, INVd, or INVs)", s)
-}
+func ParseVariant(s string) (core.CASVariant, error) { return exper.ParseVariant(s) }
 
 // Normalize validates the spec and returns its canonical form: defaults
 // filled in, fields irrelevant to the selected application zeroed (so two
@@ -107,10 +69,11 @@ func (s Spec) Normalize() (Spec, error) {
 	if s.App == "" {
 		s.App = "counter"
 	}
-	synthetic, ok := specApps[s.App]
-	if !ok {
-		return s, fmt.Errorf("unknown app %q (want counter, tts, mcs, tclosure, locusroute, or cholesky)", s.App)
+	app, err := exper.ParseApp(s.App)
+	if err != nil {
+		return s, err
 	}
+	synthetic := app.Synthetic()
 	if s.Policy == "" {
 		s.Policy = "INV"
 	}
@@ -173,6 +136,34 @@ func (s Spec) Normalize() (Spec, error) {
 		s.Size = 0
 	}
 	return s, nil
+}
+
+// Point maps a canonical spec to the exper point it requests. The spec
+// must already be normalized; Point panics on enum values Normalize would
+// have rejected.
+func (s Spec) Point() exper.Point {
+	return exper.Point{
+		App: mustParse(exper.ParseApp(s.App)),
+		Bar: exper.Bar{
+			Policy:  mustParse(exper.ParsePolicy(s.Policy)),
+			Prim:    mustParse(exper.ParsePrim(s.Prim)),
+			Variant: mustParse(exper.ParseVariant(s.Variant)),
+			LoadEx:  s.LoadEx,
+			Drop:    s.Drop,
+		},
+		Scale:   exper.RunOpts{Procs: s.Procs, Rounds: s.Rounds, TCSize: s.Size},
+		Pattern: exper.Pattern{Contention: s.Contention, WriteRun: s.WriteRun, Rounds: s.Rounds},
+		Seed:    s.Seed,
+	}
+}
+
+// mustParse unwraps a parse-helper result on an already-normalized spec,
+// where a failure is a programming error, not bad input.
+func mustParse[T ~uint8](v T, err error) T {
+	if err != nil {
+		panic("serve: run on unnormalized spec: " + err.Error())
+	}
+	return v
 }
 
 // Key returns the content address of a canonical spec: the hex SHA-256 of

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// MaxSweepPoints bounds one batch request: the sweep endpoint is for
+// figure-sized plans (tens to hundreds of points), not unbounded jobs.
+const MaxSweepPoints = 1024
+
+// sweepRequest is the POST /v1/sweep body: an ordered list of specs
+// forming one plan. Each point is normalized and resolved independently
+// through the same cache + single-flight + worker pool as /v1/sim.
+type sweepRequest struct {
+	Points []Spec `json:"points"`
+}
+
+// handleSweep runs a batch of specs and streams one NDJSON line per point,
+// in plan order. Each line is byte-identical to the /v1/sim response body
+// for the same spec (the exact cached encoding), so clients can mix single
+// and batch requests freely. A point that fails yields one
+// {"error":"..."} line in its slot, preserving the line-per-point framing.
+//
+// Dispatch happens before the first byte of the body, so the response
+// headers carry the plan's cache profile: X-Sweep-Points, X-Sweep-Hits
+// (served from cache), X-Sweep-Coalesced (merged into an in-flight
+// identical run — including duplicates within the plan itself).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON plan: {\"points\": [spec, ...]}")
+		return
+	}
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	var req sweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.badRequest.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad plan JSON: %v", err))
+		return
+	}
+	if len(req.Points) == 0 {
+		s.met.badRequest.Add(1)
+		s.writeError(w, http.StatusBadRequest, "empty plan: need at least one point")
+		return
+	}
+	if len(req.Points) > MaxSweepPoints {
+		s.met.badRequest.Add(1)
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("plan has %d points, limit %d", len(req.Points), MaxSweepPoints))
+		return
+	}
+	specs := make([]Spec, len(req.Points))
+	for i, sp := range req.Points {
+		var err error
+		if specs[i], err = sp.Normalize(); err != nil {
+			s.met.badRequest.Add(1)
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
+			return
+		}
+	}
+	s.met.sweeps.Add(1)
+	s.met.sweepPoints.Add(uint64(len(specs)))
+	start := time.Now()
+	overall := start.Add(s.cfg.Timeout)
+
+	// Phase 1: dispatch every point (cache lookup, single-flight join,
+	// pool submission) without waiting for any simulation to finish.
+	// Duplicate points within the plan coalesce on the plan's own leader,
+	// and a plan larger than the queue bound drains through it — dispatch
+	// waits for queue space (workers are consuming) rather than bouncing
+	// the excess points.
+	type slot struct {
+		key   string
+		data  []byte // non-nil: served from cache
+		call  *flightCall
+		state dispatchState
+	}
+	slots := make([]slot, len(specs))
+	var hits, coalesced uint64
+	for i, spec := range specs {
+		key := spec.Key()
+		data, call, state := s.start(spec, key, time.Until(overall))
+		slots[i] = slot{key: key, data: data, call: call, state: state}
+		switch state {
+		case dispatchHit:
+			hits++
+			s.met.sweepHits.Add(1)
+		case dispatchMiss:
+			s.met.sweepMisses.Add(1)
+		case dispatchCoalesced:
+			coalesced++
+			s.met.sweepCoalesced.Add(1)
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-Points", strconv.Itoa(len(specs)))
+	w.Header().Set("X-Sweep-Hits", strconv.FormatUint(hits, 10))
+	w.Header().Set("X-Sweep-Coalesced", strconv.FormatUint(coalesced, 10))
+
+	// Phase 2: stream results in plan order. One deadline covers the whole
+	// batch; once it expires, every unfinished point reports the timeout in
+	// its line (the per-point framing survives).
+	flusher, _ := w.(http.Flusher)
+	deadline := time.NewTimer(time.Until(overall))
+	defer deadline.Stop()
+	expired := false
+	for i := range slots {
+		sl := &slots[i]
+		data, err := sl.data, error(nil)
+		if data == nil {
+			if !expired {
+				select {
+				case <-sl.call.done:
+				case <-deadline.C:
+					expired = true
+					s.met.timeouts.Add(1)
+				case <-r.Context().Done():
+					// Client gone; stop streaming.
+					return
+				}
+			}
+			switch {
+			case expired:
+				err = fmt.Errorf("deadline of %s exceeded (queue wait + simulation)", s.cfg.Timeout)
+			case sl.call.err == errBusy:
+				err = fmt.Errorf("simulation queue full (%d queued); retry shortly", s.cfg.Queue)
+			case sl.call.err != nil:
+				err = sl.call.err
+			default:
+				data = sl.call.data
+			}
+		}
+		if err != nil {
+			s.met.sweepErrors.Add(1)
+			line, _ := json.Marshal(map[string]string{"error": err.Error(), "key": sl.key})
+			w.Write(append(line, '\n'))
+		} else {
+			w.Write(data)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	s.met.latency.observe(time.Since(start))
+}

@@ -123,7 +123,7 @@ func TestPropertySchedulerEquivalence(t *testing.T) {
 // TestPropertyResetReproducesFreshEngine interrupts a workload mid-run,
 // Resets the engine, and replays the workload on the same (recycled) engine;
 // the trace must match a fresh engine exactly. This is what machine reuse in
-// internal/figures depends on.
+// internal/exper depends on.
 func TestPropertyResetReproducesFreshEngine(t *testing.T) {
 	f := func(seed uint64, cut uint16) bool {
 		fresh, freshN := equivalenceWorkload(seed, false)
