@@ -29,6 +29,7 @@ import (
 
 type result struct {
 	Name        string             `json:"name"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
 	Iterations  int                `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op"`
@@ -37,11 +38,12 @@ type result struct {
 }
 
 type report struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Benchmarks []result `json:"benchmarks"`
+	Date       string                   `json:"date"`
+	GoVersion  string                   `json:"go_version"`
+	NumCPU     int                      `json:"num_cpu"`
+	GOMAXPROCS int                      `json:"gomaxprocs"`
+	Benchmarks []result                 `json:"benchmarks"`
+	Scaling    []hostbench.ScalingPoint `json:"scaling,omitempty"`
 }
 
 // loadReport reads a JSON baseline previously written by this command.
@@ -106,7 +108,33 @@ func compare(oldPath, newPath string) error {
 	for name := range oldBy {
 		fmt.Printf("\n%s: removed (only in %s)\n", name, oldPath)
 	}
+	compareScaling(oldRep, newRep)
 	return nil
+}
+
+// compareScaling prints the multi-core ladder delta: per GOMAXPROCS rung,
+// serving points/sec, per-point p99, and plan-sweep points/sec. Baselines
+// recorded before the ladder existed simply have no scaling section.
+func compareScaling(oldRep, newRep *report) {
+	if len(newRep.Scaling) == 0 && len(oldRep.Scaling) == 0 {
+		return
+	}
+	oldBy := make(map[int]hostbench.ScalingPoint, len(oldRep.Scaling))
+	for _, p := range oldRep.Scaling {
+		oldBy[p.Procs] = p
+	}
+	fmt.Printf("\nscaling (per GOMAXPROCS rung)\n")
+	for _, np := range newRep.Scaling {
+		op, ok := oldBy[np.Procs]
+		delete(oldBy, np.Procs)
+		fmt.Printf("  procs=%d\n", np.Procs)
+		fmt.Printf("    serve pts/s: %s\n", delta(op.PtsPerSec, np.PtsPerSec, ok, "%.0f"))
+		fmt.Printf("    p99 us:      %s\n", delta(float64(op.P99US), float64(np.P99US), ok, "%.0f"))
+		fmt.Printf("    plan pts/s:  %s\n", delta(op.PlanPtsPerSec, np.PlanPtsPerSec, ok, "%.0f"))
+	}
+	for procs := range oldBy {
+		fmt.Printf("  procs=%d: removed\n", procs)
+	}
 }
 
 // hostCPUs returns the machine's processor count. runtime.NumCPU reports
@@ -134,6 +162,7 @@ func hostCPUs() int {
 func main() {
 	out := flag.String("o", "BENCH_PR1.json", "output file (- for stdout)")
 	cmp := flag.Bool("compare", false, "compare two baseline files: -compare old.json new.json")
+	scalingPts := flag.Int("scaling-points", 2000, "simulation points per scaling-ladder rung (0 skips the ladder)")
 	flag.Parse()
 
 	if *cmp {
@@ -174,12 +203,18 @@ func main() {
 		r := testing.Benchmark(bench.body)
 		rep.Benchmarks = append(rep.Benchmarks, result{
 			Name:        bench.name,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 			Metrics:     r.Extra,
 		})
+	}
+	if *scalingPts > 0 {
+		ladder := hostbench.Ladder(rep.NumCPU)
+		fmt.Fprintf(os.Stderr, "running scaling ladder %v (%d points per rung)...\n", ladder, *scalingPts)
+		rep.Scaling = hostbench.MeasureScaling(ladder, *scalingPts)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

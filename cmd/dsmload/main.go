@@ -16,7 +16,10 @@
 // point plan POSTed to /v1/sweep, and the per-point cache profile comes
 // from the X-Sweep-* response headers. With -bench it also runs the
 // in-process serving benchmarks (serve.BenchServe*) and records them
-// alongside the load run.
+// alongside the load run. -procs pins the client's GOMAXPROCS for
+// scaling-curve runs; the run record carries both the effective client
+// gomaxprocs and the server's worker count (from /metrics), so a recorded
+// point states the core budget on both sides of the connection.
 package main
 
 import (
@@ -105,10 +108,14 @@ type benchResult struct {
 }
 
 type output struct {
-	Date          string          `json:"date"`
-	GoVersion     string          `json:"go_version"`
-	NumCPU        int             `json:"num_cpu"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the client's effective setting (after -procs, when
+	// given); ServerWorkers is the serving side's worker count as reported
+	// by /metrics (0 when the metrics fetch failed).
 	GOMAXPROCS    int             `json:"gomaxprocs"`
+	ServerWorkers int             `json:"server_workers"`
 	Load          loadStats       `json:"load"`
 	ServerMetrics *serve.Snapshot `json:"server_metrics,omitempty"`
 	Benchmarks    []benchResult   `json:"benchmarks,omitempty"`
@@ -125,8 +132,12 @@ func main() {
 		bench = flag.Bool("bench", false, "also run the in-process serve benchmarks")
 		sweep = flag.Bool("sweep", false, "issue batch plans to /v1/sweep instead of single sims")
 		batch = flag.Int("batch", 8, "points per sweep plan (with -sweep)")
+		procs = flag.Int("procs", 0, "pin client GOMAXPROCS for scaling runs (0: runtime default)")
 	)
 	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 
 	specs := workingSet(*nset)
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -212,6 +223,7 @@ func main() {
 	}
 	if snap, err := fetchMetrics(client, strings.TrimSuffix(*addr, "/")+"/metrics"); err == nil {
 		rep.ServerMetrics = snap
+		rep.ServerWorkers = snap.Workers
 	}
 	if *bench {
 		for _, b := range []struct {

@@ -97,9 +97,26 @@ func (p Point) RunOn(m *machine.Machine) Result {
 // the result carries the machine's full measurement report (byte-stable
 // under report.WriteJSON); without, only the headline numbers, which keeps
 // grid sweeps free of per-point report allocation.
+//
+// Run is the one-off path; a worker executing many points should hold a
+// MachineSlot and call RunSlot instead, which skips the shared pool.
 func (p Point) Run(collect bool) Result {
 	m := NewMachine(p.Scale, p.Bar)
 	defer ReleaseMachine(m)
+	r := p.RunOn(m)
+	if collect {
+		r.Report = report.Collect(m)
+	}
+	return r
+}
+
+// RunSlot executes the point on the slot's resident machine (reset or
+// rebuilt to the point's geometry) and leaves the machine in the slot for
+// the worker's next point. Results are identical to Run's — a reset
+// machine replays a fresh one cycle for cycle — but the shared machine
+// pool is never touched, so concurrent workers stay contention-free.
+func (p Point) RunSlot(s *MachineSlot, collect bool) Result {
+	m := s.Machine(MachineConfig(p.Scale, p.Bar))
 	r := p.RunOn(m)
 	if collect {
 		r.Report = report.Collect(m)
@@ -117,12 +134,14 @@ type Plan struct {
 	Collect bool // attach a full report to every result
 }
 
-// Run executes every point of the plan, drawing pooled machines, and
-// returns the results in plan order.
+// Run executes every point of the plan and returns the results in plan
+// order. Each sweep worker owns a dedicated machine slot it reuses across
+// the plan's points (see SweepSlots), so no shared pool sits on the
+// per-point path.
 func Run(pl Plan) []Result {
 	out := make([]Result, len(pl.Points))
-	Sweep(len(pl.Points), pl.Par, func(i int) {
-		out[i] = pl.Points[i].Run(pl.Collect)
+	SweepSlots(len(pl.Points), pl.Par, func(s *MachineSlot, i int) {
+		out[i] = pl.Points[i].RunSlot(s, pl.Collect)
 	})
 	return out
 }

@@ -7,12 +7,53 @@ import (
 	"dsm/internal/machine"
 )
 
-// machinePool recycles machines between the hundreds of independent runs a
-// plan performs. Machine construction dominates short runs (the cache
-// slabs alone are ~100KB per node pair), and machine.Reset restores a used
-// machine to a state that replays a fresh one cycle for cycle, so reuse
+// Machine reuse comes in two forms, matched to how the caller runs:
+//
+//   - MachineSlot: per-worker ownership. A sweep worker (or serve pool
+//     worker) holds one slot for its lifetime and reuses its resident
+//     machine across jobs with no locking and no pooled/unpooled state
+//     transitions. This is the hot path — Plan.Run and the serving layer
+//     go through slots, so at GOMAXPROCS > 1 no two workers ever touch a
+//     shared structure between runs.
+//
+//   - machinePool (sync.Pool): a shared fallback for one-off runs with no
+//     worker identity (Table1, RunReal, cmd/dsmsim, ad-hoc benchmarks).
+//     The pool's cross-goroutine handoff and MarkPooled/ClearPooled
+//     double-release guard cost a few atomic operations per acquire, which
+//     is noise for a one-shot run but measurable per sweep point — which
+//     is why the sweep and serve paths retired it in favor of slots.
+//
+// Machine construction dominates short runs (the cache slabs alone are
+// ~100KB per node pair), and machine.Reset restores a used machine to a
+// state that replays a fresh one cycle for cycle, so either reuse form
 // changes host time only. Machines of mismatched geometry (Reset returns
 // false) are simply dropped back to the GC.
+
+// MachineSlot holds one worker goroutine's dedicated machine. The zero
+// value is ready to use; the first Machine call builds the resident
+// machine and later calls reset-and-reuse it whenever the requested
+// geometry matches. A slot must only be used by one goroutine at a time —
+// that exclusivity is the point: no pool lock, no double-release guard,
+// no handoff between cores.
+type MachineSlot struct {
+	m *machine.Machine
+}
+
+// Machine returns a machine configured as cfg, reusing the slot's resident
+// machine when its structure matches and replacing it otherwise. The
+// returned machine stays owned by the slot: do not release it to the
+// shared pool, just call Machine again for the next run.
+func (s *MachineSlot) Machine(cfg core.Config) *machine.Machine {
+	if s.m != nil && s.m.Reset(cfg) {
+		return s.m
+	}
+	s.m = machine.New(cfg)
+	return s.m
+}
+
+// machinePool recycles machines between one-off runs that have no
+// per-worker slot to live in. See the package comment above for when to
+// use which.
 var machinePool sync.Pool
 
 // AcquireMachine returns a machine configured as cfg, reusing a pooled one
@@ -43,10 +84,10 @@ func ReleaseMachine(m *machine.Machine) {
 	machinePool.Put(m)
 }
 
-// NewMachine builds (or recycles) a machine for one bar under the given
-// scale. Pair with ReleaseMachine when the machine's statistics are no
-// longer needed.
-func NewMachine(o RunOpts, b Bar) *machine.Machine {
+// MachineConfig is the machine configuration a bar needs at the given
+// scale: a near-square mesh accommodating o.Procs nodes, with the bar's
+// CAS variant.
+func MachineConfig(o RunOpts, b Bar) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Nodes = o.Procs
 	w := 1
@@ -56,5 +97,12 @@ func NewMachine(o RunOpts, b Bar) *machine.Machine {
 	cfg.Mesh.Width = w
 	cfg.Mesh.Height = (o.Procs + w - 1) / w
 	cfg.CAS = b.Variant
-	return AcquireMachine(cfg)
+	return cfg
+}
+
+// NewMachine builds (or recycles) a machine for one bar under the given
+// scale. Pair with ReleaseMachine when the machine's statistics are no
+// longer needed.
+func NewMachine(o RunOpts, b Bar) *machine.Machine {
+	return AcquireMachine(MachineConfig(o, b))
 }

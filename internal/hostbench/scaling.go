@@ -1,0 +1,181 @@
+package hostbench
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsm/internal/exper"
+	"dsm/internal/serve"
+)
+
+// ScalingPoint is one rung of the multi-core ladder: the serving and plan
+// throughput the host sustains with GOMAXPROCS (and the serve worker
+// count) pinned to Procs. PtsPerSec counts simulation points resolved per
+// second through the serving stack under the dsmload profile of record —
+// 90% of requests drawn from a warmed 16-spec working set (cache hits),
+// 10% never-seen specs (full simulations) — so the number is comparable
+// to the recorded dsmload baselines, minus the socket hop. P99US is the
+// 99th percentile per-point latency seen by the clients, queue wait
+// included. PlanPtsPerSec is the same host driven through exper.Run at
+// Par=Procs: the in-process sweep path, all points simulated, no serving
+// layer.
+type ScalingPoint struct {
+	Procs         int     `json:"procs"`
+	PtsPerSec     float64 `json:"pts_per_sec"`
+	P99US         uint64  `json:"p99_us"`
+	PlanPtsPerSec float64 `json:"plan_pts_per_sec"`
+}
+
+// minLadderRungs is the smallest ladder worth recording: even a small host
+// extends into oversubscribed rungs so the curve shows where real
+// parallelism stops, not just that it stopped.
+const minLadderRungs = 4
+
+// Ladder returns the GOMAXPROCS settings to measure: 1, 2, 4, 8, 16
+// truncated at the host's core count, but always at least minLadderRungs
+// rungs — on a 2-core host that yields {1, 2, 4, 8}, where the rungs past
+// 2 measure oversubscription (expected roughly flat, not faster).
+func Ladder(hostCPUs int) []int {
+	var out []int
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		if n <= hostCPUs || len(out) < minLadderRungs {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// MeasureScaling walks the ladder, pinning GOMAXPROCS to each rung and
+// measuring serving throughput/latency over points requests plus
+// plan-sweep throughput. The process GOMAXPROCS is restored afterwards.
+// Unique-spec seeds advance monotonically across rungs, and each rung gets
+// a fresh server, so no rung hits a result cached by an earlier one except
+// through its own warmed working set.
+func MeasureScaling(ladder []int, points int) []ScalingPoint {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	out := make([]ScalingPoint, 0, len(ladder))
+	seed := uint64(1)
+	for _, n := range ladder {
+		runtime.GOMAXPROCS(n)
+		pt, next := measureServeRung(n, points, seed)
+		seed = next
+		pt.PlanPtsPerSec = measurePlanRung(n)
+		out = append(out, pt)
+	}
+	return out
+}
+
+// scalingDup is the working-set draw probability, matching dsmload's
+// default -dup 0.9.
+const scalingDup = 0.9
+
+// scalingWorkingSet mirrors dsmload's 16-spec duplicate pool: the paper's
+// design space (policy x primitive x contention) at the reduced host-bench
+// scale.
+func scalingWorkingSet() []string {
+	policies := []string{"INV", "UPD", "UNC"}
+	prims := []string{"FAP", "CAS", "LLSC"}
+	conts := []int{1, 2, 4, 8}
+	specs := make([]string, 0, 16)
+	for i := 0; len(specs) < 16; i++ {
+		specs = append(specs, fmt.Sprintf(
+			`{"app":"counter","policy":%q,"prim":%q,"procs":8,"c":%d,"rounds":3}`,
+			policies[i%len(policies)], prims[(i/3)%len(prims)], conts[(i/9)%len(conts)]))
+	}
+	return specs
+}
+
+// measureServeRung drives an in-process server (Workers = n) with 2n
+// client goroutines under the dup-0.9 profile: the working set is warmed
+// first, then points requests draw 90% warm specs and 10% fresh seeds.
+// Returns the rung's measurement and the next unused seed.
+func measureServeRung(n, points int, seed0 uint64) (ScalingPoint, uint64) {
+	clients := 2 * n
+	s := serve.New(serve.Config{Workers: n, Queue: 2*clients + 16})
+	defer s.Close()
+	h := s.Handler()
+	post := func(body string) int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/sim", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w.Code
+	}
+	set := scalingWorkingSet()
+	for _, spec := range set { // warm: every working-set spec simulates once
+		if code := post(spec); code != http.StatusOK {
+			panic(fmt.Sprintf("hostbench: scaling warmup answered %d", code))
+		}
+	}
+	var seed, failed atomic.Uint64
+	seed.Store(seed0 - 1) // Add(1) yields seed0 first
+	var handout atomic.Int64
+	lat := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			lat[c] = make([]time.Duration, 0, points/clients+1)
+			for handout.Add(1) <= int64(points) {
+				var body string
+				if rng.Float64() < scalingDup {
+					body = set[rng.Intn(len(set))]
+				} else {
+					body = fmt.Sprintf(
+						`{"app":"counter","procs":8,"c":8,"rounds":3,"seed":%d}`,
+						seed.Add(1))
+				}
+				t0 := time.Now()
+				code := post(body)
+				lat[c] = append(lat[c], time.Since(t0))
+				if code != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		panic(fmt.Sprintf("hostbench: scaling rung dropped %d of %d points", n, points))
+	}
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 := all[len(all)*99/100]
+	return ScalingPoint{
+		Procs:     n,
+		PtsPerSec: float64(points) / elapsed.Seconds(),
+		P99US:     uint64(p99.Microseconds()),
+	}, seed.Load() + 1
+}
+
+// planRungReps amortizes plan setup and scheduler warmup over several full
+// grids per rung.
+const planRungReps = 4
+
+// measurePlanRung times the in-process sweep path at Par = n: regenerating
+// the reduced figure-3 grid (every bar x pattern) with n plan workers,
+// each owning one resident machine across its share of the points.
+func measurePlanRung(n int) float64 {
+	plan := exper.SyntheticPlan(exper.AppCounter, sweepOpts(n))
+	exper.Run(plan) // warm up: machine slabs, scheduler arrays
+	start := time.Now()
+	pts := 0
+	for i := 0; i < planRungReps; i++ {
+		pts += len(exper.Run(plan))
+	}
+	return float64(pts) / time.Since(start).Seconds()
+}

@@ -1,0 +1,42 @@
+package hostbench
+
+import "testing"
+
+func TestLadder(t *testing.T) {
+	for _, tc := range []struct {
+		cpus int
+		want []int
+	}{
+		{1, []int{1, 2, 4, 8}}, // extended to minLadderRungs
+		{2, []int{1, 2, 4, 8}},
+		{6, []int{1, 2, 4, 8}},
+		{8, []int{1, 2, 4, 8}},
+		{16, []int{1, 2, 4, 8, 16}},
+		{64, []int{1, 2, 4, 8, 16}},
+	} {
+		got := Ladder(tc.cpus)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Ladder(%d) = %v, want %v", tc.cpus, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Ladder(%d) = %v, want %v", tc.cpus, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestMeasureScalingSmoke runs a tiny two-rung ladder end to end: every
+// point must resolve (measureServeRung panics on dropped points) and every
+// rung must report nonzero throughput and latency.
+func TestMeasureScalingSmoke(t *testing.T) {
+	pts := MeasureScaling([]int{1, 2}, 64)
+	if len(pts) != 2 {
+		t.Fatalf("got %d rungs, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.PtsPerSec <= 0 || p.P99US == 0 || p.PlanPtsPerSec <= 0 {
+			t.Fatalf("rung %+v has a zero measurement", p)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // flightCall is one in-flight simulation that concurrent identical
 // requests share. The leader fills data/err and closes done; followers
@@ -16,25 +19,54 @@ type flightCall struct {
 // finishes become followers of the same call. This is the single-flight
 // pattern — under a burst of N identical specs, exactly one simulation
 // runs and N-1 requests pay only the wait.
+//
+// The in-flight table is sharded like the result cache (same power-of-two
+// count derived from GOMAXPROCS, same first-SHA-byte placement), so
+// concurrent joins for unrelated keys lock different shards instead of
+// funneling through one mutex. Coalescing semantics are unchanged: a key
+// lives on exactly one shard, so all requests for it still meet in one
+// calls map.
 type flightGroup struct {
+	shards []flightShard
+	mask   uint32 // len(shards) - 1; shard count is a power of two
+}
+
+// flightShard is one independently locked slice of the in-flight table.
+type flightShard struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
+	_     [40]byte // keep neighboring shards' hot fields off one cache line
 }
 
 func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < maxShards {
+		n <<= 1
+	}
+	return newFlightGroupShards(n)
+}
+
+// newFlightGroupShards builds a flight group with an explicit power-of-two
+// shard count (tests pin the count; newFlightGroup derives it).
+func newFlightGroupShards(shards int) *flightGroup {
+	g := &flightGroup{shards: make([]flightShard, shards), mask: uint32(shards - 1)}
+	for i := range g.shards {
+		g.shards[i].calls = make(map[string]*flightCall)
+	}
+	return g
 }
 
 // join returns the call for key, creating it when absent. leader reports
 // whether this caller must execute the work and complete the call.
 func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if c, ok := g.calls[key]; ok {
+	s := &g.shards[shardIndex(key, g.mask)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.calls[key]; ok {
 		return c, false
 	}
 	c = &flightCall{done: make(chan struct{})}
-	g.calls[key] = c
+	s.calls[key] = c
 	return c, true
 }
 
@@ -43,8 +75,9 @@ func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
 // starts a fresh call (it will hit the result cache first anyway).
 func (g *flightGroup) complete(key string, c *flightCall, data []byte, err error) {
 	c.data, c.err = data, err
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
+	s := &g.shards[shardIndex(key, g.mask)]
+	s.mu.Lock()
+	delete(s.calls, key)
+	s.mu.Unlock()
 	close(c.done)
 }

@@ -3,27 +3,38 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"dsm/internal/exper"
 )
 
 // workerPool runs simulations on a fixed set of goroutines fed by a
 // bounded queue. The queue bound is the service's backpressure valve: when
 // it is full, submit fails immediately and the handler answers 429 rather
 // than letting latency grow without bound.
+//
+// Each worker goroutine owns one exper.MachineSlot for its lifetime and
+// hands it to every job it runs: a job executes its simulation on the
+// slot's resident machine, which the next job on the same worker resets
+// and reuses. Machines therefore never cross goroutines and never visit
+// the shared sync.Pool — at GOMAXPROCS > 1 the per-request path has no
+// machine-pool lock, no MarkPooled/ClearPooled transitions, and no
+// cross-core machine handoff.
 type workerPool struct {
 	mu     sync.Mutex // serializes submit against close
 	closed bool
-	jobs   chan func()
+	jobs   chan func(*exper.MachineSlot)
 	wg     sync.WaitGroup
 }
 
 func newWorkerPool(workers, queue int) *workerPool {
-	p := &workerPool{jobs: make(chan func(), queue)}
+	p := &workerPool{jobs: make(chan func(*exper.MachineSlot), queue)}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
+			var slot exper.MachineSlot // this worker's machine, reused across jobs
 			for job := range p.jobs {
-				job()
+				job(&slot)
 			}
 		}()
 	}
@@ -33,7 +44,7 @@ func newWorkerPool(workers, queue int) *workerPool {
 // submit enqueues one job, reporting false when the queue is full or the
 // pool is draining. The mutex makes submit safe against a concurrent
 // close (a bare send racing a channel close would panic).
-func (p *workerPool) submit(job func()) bool {
+func (p *workerPool) submit(job func(*exper.MachineSlot)) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -53,7 +64,7 @@ func (p *workerPool) submit(job func()) bool {
 // against simulation times. A wait of zero degenerates to one try. The
 // batch sweep dispatcher uses this so plans larger than the queue bound
 // drain through it instead of bouncing.
-func (p *workerPool) submitWait(job func(), wait time.Duration) bool {
+func (p *workerPool) submitWait(job func(*exper.MachineSlot), wait time.Duration) bool {
 	deadline := time.Now().Add(wait)
 	for {
 		if p.submit(job) {

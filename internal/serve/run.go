@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 
+	"dsm/internal/exper"
 	"dsm/internal/report"
 )
 
@@ -46,9 +47,22 @@ func (o *Outcome) Encode() ([]byte, error) {
 // Run is safe to memoize by spec key.
 //
 // The spec must already be normalized; Run panics on enum values
-// Normalize would have rejected.
+// Normalize would have rejected. Worker goroutines that run many specs
+// should hold an exper.MachineSlot and call RunOn instead.
 func Run(sp Spec) *Outcome {
-	res := sp.Point().Run(true)
+	return outcome(sp, sp.Point().Run(true))
+}
+
+// RunOn executes one canonical spec on the slot's resident machine,
+// resetting or rebuilding it to the spec's geometry. The outcome is
+// byte-identical to Run's — determinism is per run, not per machine — but
+// the shared machine pool is never touched, which is what keeps the serve
+// worker pool contention-free across cores.
+func RunOn(sp Spec, slot *exper.MachineSlot) *Outcome {
+	return outcome(sp, sp.Point().RunSlot(slot, true))
+}
+
+func outcome(sp Spec, res exper.Result) *Outcome {
 	return &Outcome{
 		Spec:      sp,
 		Key:       sp.Key(),

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dsm/internal/exper"
 )
 
 // quickSpec is small enough that a simulation completes in well under a
@@ -176,7 +178,7 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 	// Park the only worker so the leader's simulation cannot start; every
 	// concurrent identical request must then join the same flight call.
 	gate := make(chan struct{})
-	if !s.pool.submit(func() { <-gate }) {
+	if !s.pool.submit(func(*exper.MachineSlot) { <-gate }) {
 		t.Fatal("could not park worker")
 	}
 	var wg sync.WaitGroup
@@ -226,11 +228,11 @@ func TestQueueFullAnswers429WithRetryAfter(t *testing.T) {
 	gate := make(chan struct{})
 	defer close(gate)
 	started := make(chan struct{})
-	if !s.pool.submit(func() { close(started); <-gate }) { // park the worker
+	if !s.pool.submit(func(*exper.MachineSlot) { close(started); <-gate }) { // park the worker
 		t.Fatal("could not park worker")
 	}
 	<-started                      // the parked job is running, not queued
-	if !s.pool.submit(func() {}) { // fill the queue
+	if !s.pool.submit(func(*exper.MachineSlot) {}) { // fill the queue
 		t.Fatal("could not fill queue")
 	}
 	w := doJSON(s, quickSpec)
@@ -249,7 +251,7 @@ func TestDeadlineAnswers504(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1, Queue: 4, Timeout: 5 * time.Millisecond})
 	gate := make(chan struct{})
 	defer close(gate)
-	if !s.pool.submit(func() { <-gate }) {
+	if !s.pool.submit(func(*exper.MachineSlot) { <-gate }) {
 		t.Fatal("could not park worker")
 	}
 	w := doJSON(s, quickSpec)
@@ -347,7 +349,7 @@ func TestHealthzAndMetricsEndpoints(t *testing.T) {
 func TestCloseDrainsQueuedWork(t *testing.T) {
 	s := New(Config{Workers: 1, Queue: 4})
 	gate := make(chan struct{})
-	if !s.pool.submit(func() { <-gate }) {
+	if !s.pool.submit(func(*exper.MachineSlot) { <-gate }) {
 		t.Fatal("could not park worker")
 	}
 	done := make(chan *httptest.ResponseRecorder, 1)

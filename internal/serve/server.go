@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"dsm/internal/exper"
 )
 
 // Config sizes the service.
@@ -72,7 +74,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns a point-in-time snapshot of the service counters.
 func (s *Server) Metrics() Snapshot {
 	snap := s.met.snapshot()
-	snap.CacheEntries, snap.CacheEvictions = s.cache.stats()
+	snap.CacheEntries, snap.CacheEvictions, snap.CacheShards = s.cache.stats()
+	snap.FlightShards = len(s.flight.shards)
 	snap.QueueDepth = s.pool.depth()
 	snap.Workers = s.cfg.Workers
 	return snap
@@ -185,8 +188,8 @@ func (s *Server) start(spec Spec, key string, queueWait time.Duration) ([]byte, 
 	if !leader {
 		return nil, call, dispatchCoalesced
 	}
-	if !s.pool.submitWait(func() {
-		data, err := s.runEncoded(spec)
+	if !s.pool.submitWait(func(slot *exper.MachineSlot) {
+		data, err := s.runEncoded(spec, slot)
 		if err == nil {
 			s.cache.put(key, data)
 		}
@@ -197,17 +200,20 @@ func (s *Server) start(spec Spec, key string, queueWait time.Duration) ([]byte, 
 	return nil, call, dispatchMiss
 }
 
-// runEncoded executes the spec and returns its canonical JSON bytes,
-// converting a panic anywhere under the simulator into an error so one bad
-// run cannot take down a worker.
-func (s *Server) runEncoded(spec Spec) (data []byte, err error) {
+// runEncoded executes the spec on the worker's machine slot and returns
+// its canonical JSON bytes, converting a panic anywhere under the
+// simulator into an error so one bad run cannot take down a worker. A
+// panicked run leaves the slot's machine in an unknown state, so the slot
+// is cleared and the next job on this worker builds a fresh machine.
+func (s *Server) runEncoded(spec Spec, slot *exper.MachineSlot) (data []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			*slot = exper.MachineSlot{}
 			err = fmt.Errorf("simulation failed: %v", r)
 		}
 	}()
 	s.met.runs.Add(1)
-	return Run(spec).Encode()
+	return RunOn(spec, slot).Encode()
 }
 
 var errBusy = fmt.Errorf("queue full")

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsm/internal/exper"
+)
+
+// hexKey builds a distinct canonical-looking cache key (hex SHA-256, the
+// same alphabet Spec.Key emits) from an integer.
+func hexKey(i int) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("shard-test-key-%d", i)))
+	return hex.EncodeToString(h[:])
+}
+
+func TestShardCountBounds(t *testing.T) {
+	for _, tc := range []struct{ max, want int }{
+		{2, 1},    // too small to shard: exact LRU
+		{63, 1},   // still under one shard's worth
+		{128, 2},  // room for two shards of 64 (if GOMAXPROCS >= 2)
+		{1024, 0}, // bounded by GOMAXPROCS, checked below
+	} {
+		got := shardCount(tc.max)
+		if got&(got-1) != 0 {
+			t.Fatalf("shardCount(%d) = %d, not a power of two", tc.max, got)
+		}
+		if tc.want != 0 && got > tc.want {
+			t.Fatalf("shardCount(%d) = %d, want <= %d", tc.max, got, tc.want)
+		}
+		if got > 1 && tc.max/got < minShardEntries {
+			t.Fatalf("shardCount(%d) = %d leaves %d entries per shard, want >= %d",
+				tc.max, got, tc.max/got, minShardEntries)
+		}
+	}
+}
+
+func TestShardIndexDeterministicAndBounded(t *testing.T) {
+	for _, mask := range []uint32{0, 1, 7, 255} {
+		for i := 0; i < 64; i++ {
+			k := hexKey(i)
+			a, b := shardIndex(k, mask), shardIndex(k, mask)
+			if a != b {
+				t.Fatalf("shardIndex(%q, %d) unstable: %d vs %d", k, mask, a, b)
+			}
+			if a > mask {
+				t.Fatalf("shardIndex(%q, %d) = %d, out of range", k, mask, a)
+			}
+		}
+	}
+}
+
+// TestShardedCacheConcurrentStress hammers a pinned 8-shard cache with
+// concurrent puts (disjoint key ranges) and gets, then checks the
+// invariants sharding must preserve: per-shard map and recency list agree,
+// no shard exceeds its budget, and every insertion is accounted for as
+// either a resident entry or an eviction.
+func TestShardedCacheConcurrentStress(t *testing.T) {
+	const (
+		budget  = 512
+		nShards = 8
+		workers = 8
+		perW    = 400 // 3200 distinct keys >> budget, so every shard evicts
+	)
+	c := newResultCacheShards(budget, nShards)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := hexKey(w*perW + i)
+				c.put(k, []byte(k))
+				// Mix in reads of this worker's earlier keys: hits must
+				// return exactly the bytes stored under that key.
+				if data, ok := c.get(hexKey(w*perW + i/2)); ok && string(data) != hexKey(w*perW+i/2) {
+					t.Errorf("get returned bytes for the wrong key")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	entries, evictions, shards := c.stats()
+	if shards != nShards {
+		t.Fatalf("stats shards = %d, want %d", shards, nShards)
+	}
+	if entries > budget {
+		t.Fatalf("entries = %d, above budget %d", entries, budget)
+	}
+	const inserted = workers * perW
+	if uint64(entries)+evictions != inserted {
+		t.Fatalf("entries %d + evictions %d != %d insertions", entries, evictions, inserted)
+	}
+	occupied := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		if len(s.items) != s.ll.Len() {
+			t.Fatalf("shard %d: map has %d entries, list has %d", i, len(s.items), s.ll.Len())
+		}
+		if s.ll.Len() > s.max {
+			t.Fatalf("shard %d: %d entries over budget %d", i, s.ll.Len(), s.max)
+		}
+		if s.ll.Len() > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Fatalf("only %d of %d shards occupied; keys are not spreading", occupied, nShards)
+	}
+}
+
+// TestShardedFlightConcurrentLeaders drives many goroutines through a
+// pinned 8-shard flight group on a shared key set: sharding must still
+// elect exactly one leader per key, hand every follower the leader's
+// bytes, and leave no call resident after completion.
+func TestShardedFlightConcurrentLeaders(t *testing.T) {
+	const (
+		nKeys   = 32
+		joiners = 8
+	)
+	g := newFlightGroupShards(8)
+	leaders := make([]atomic.Uint32, nKeys)
+	joined := make([]sync.WaitGroup, nKeys)
+	var wg sync.WaitGroup
+	for k := 0; k < nKeys; k++ {
+		key := hexKey(k)
+		want := []byte(key)
+		joined[k].Add(joiners)
+		for j := 0; j < joiners; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, leader := g.join(key)
+				joined[k].Done()
+				if leader {
+					// Hold the call open until the whole burst has joined;
+					// completion removes the key, so finishing early would
+					// let late joiners legitimately elect a fresh leader.
+					joined[k].Wait()
+					leaders[k].Add(1)
+					g.complete(key, c, want, nil)
+					return
+				}
+				<-c.done
+				if !bytes.Equal(c.data, want) {
+					t.Errorf("key %d: follower read %q, want leader's bytes", k, c.data)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	for k := range leaders {
+		if n := leaders[k].Load(); n != 1 {
+			t.Fatalf("key %d elected %d leaders, want exactly 1", k, n)
+		}
+	}
+	for i := range g.shards {
+		if n := len(g.shards[i].calls); n != 0 {
+			t.Fatalf("shard %d still holds %d calls after completion", i, n)
+		}
+	}
+}
+
+// TestDistinctSpecsCoalescePerKey checks coalescing stays per-key across
+// shards: bursts of requests for several distinct specs must merge within
+// each spec (one run per key) and never across specs.
+func TestDistinctSpecsCoalescePerKey(t *testing.T) {
+	const (
+		nSpecs = 8
+		dup    = 4
+	)
+	s := newTestServer(t, Config{Workers: 1, Queue: nSpecs + 2})
+	gate := make(chan struct{})
+	if !s.pool.submit(func(*exper.MachineSlot) { <-gate }) {
+		t.Fatal("could not park worker")
+	}
+	specs := make([]string, nSpecs)
+	for i := range specs {
+		specs[i] = fmt.Sprintf(`{"app":"counter","procs":4,"rounds":2,"seed":%d}`, i+1)
+	}
+	var wg sync.WaitGroup
+	codes := make([][]int, nSpecs)
+	bodies := make([][][]byte, nSpecs)
+	for i := range specs {
+		codes[i] = make([]int, dup)
+		bodies[i] = make([][]byte, dup)
+		for j := 0; j < dup; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				w := doJSON(s, specs[i])
+				codes[i][j], bodies[i][j] = w.Code, w.Body.Bytes()
+			}(i, j)
+		}
+	}
+	// One leader per spec, the rest of each burst coalesced onto it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := s.Metrics()
+		if m.CacheMisses == nSpecs && m.Coalesced == nSpecs*(dup-1) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bursts did not coalesce per key: %+v", m)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	for i := range specs {
+		for j := 0; j < dup; j++ {
+			if codes[i][j] != http.StatusOK {
+				t.Fatalf("spec %d request %d = %d", i, j, codes[i][j])
+			}
+			if !bytes.Equal(bodies[i][j], bodies[i][0]) {
+				t.Fatalf("spec %d request %d body differs within its burst", i, j)
+			}
+		}
+		for k := 0; k < i; k++ {
+			if bytes.Equal(bodies[i][0], bodies[k][0]) {
+				t.Fatalf("specs %d and %d produced identical bodies; bursts merged across keys", i, k)
+			}
+		}
+	}
+	if m := s.Metrics(); m.Runs != nSpecs {
+		t.Fatalf("Runs = %d, want exactly %d (one per distinct spec)", m.Runs, nSpecs)
+	}
+}

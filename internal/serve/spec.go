@@ -1,13 +1,14 @@
 // Package serve turns the simulator into a long-lived service: an HTTP API
 // that accepts simulation specs (primitive x coherence policy x contention
 // point in the paper's design space), runs them as internal/exper points on
-// a bounded worker pool drawing machines from the exper reuse pool, and
-// returns the measurements as JSON. Around the pool sit a content-addressed
-// LRU result cache (canonical spec hash -> encoded report), single-flight
-// coalescing so N concurrent identical requests cost one simulation,
-// bounded-queue backpressure (429 + Retry-After), per-request deadlines, a
-// batch sweep endpoint streaming NDJSON, and a metrics surface.
-// cmd/dsmserve wires it to a listener; cmd/dsmload drives it.
+// a bounded worker pool — each worker owning a dedicated machine it reuses
+// across requests — and returns the measurements as JSON. Around the pool
+// sit a sharded content-addressed LRU result cache (canonical spec hash ->
+// encoded report, one independently locked shard per core), sharded
+// single-flight coalescing so N concurrent identical requests cost one
+// simulation, bounded-queue backpressure (429 + Retry-After), per-request
+// deadlines, a batch sweep endpoint streaming NDJSON, and a metrics
+// surface. cmd/dsmserve wires it to a listener; cmd/dsmload drives it.
 package serve
 
 import (

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -18,6 +20,40 @@ const MaxSweepPoints = 1024
 type sweepRequest struct {
 	Points []Spec `json:"points"`
 }
+
+// sweepSlot is one point's dispatch bookkeeping: how it resolved (cached
+// bytes or an in-flight call to wait on) and under which key.
+type sweepSlot struct {
+	key   string
+	data  []byte // non-nil: served from cache
+	call  *flightCall
+	state dispatchState
+}
+
+// sweepSlotPool recycles the per-request dispatch bookkeeping so a busy
+// sweep endpoint does not allocate a slot slice per plan; slices come back
+// with their element references cleared (the encoded results they point at
+// belong to the cache, not the request).
+var sweepSlotPool = sync.Pool{New: func() any { return new([]sweepSlot) }}
+
+func getSweepSlots(n int) *[]sweepSlot {
+	p := sweepSlotPool.Get().(*[]sweepSlot)
+	if cap(*p) < n {
+		*p = make([]sweepSlot, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putSweepSlots(p *[]sweepSlot) {
+	clear(*p)
+	sweepSlotPool.Put(p)
+}
+
+// sweepWriteSize is the per-request output buffer: large enough to batch
+// several NDJSON lines (a counter outcome encodes to ~2KB) into one
+// ResponseWriter write, small enough to be cheap per request.
+const sweepWriteSize = 32 << 10
 
 // handleSweep runs a batch of specs and streams one NDJSON line per point,
 // in plan order. Each line is byte-identical to the /v1/sim response body
@@ -57,8 +93,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("plan has %d points, limit %d", len(req.Points), MaxSweepPoints))
 		return
 	}
-	specs := make([]Spec, len(req.Points))
-	for i, sp := range req.Points {
+	specs := req.Points
+	for i, sp := range specs {
 		var err error
 		if specs[i], err = sp.Normalize(); err != nil {
 			s.met.badRequest.Add(1)
@@ -76,19 +112,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Duplicate points within the plan coalesce on the plan's own leader,
 	// and a plan larger than the queue bound drains through it — dispatch
 	// waits for queue space (workers are consuming) rather than bouncing
-	// the excess points.
-	type slot struct {
-		key   string
-		data  []byte // non-nil: served from cache
-		call  *flightCall
-		state dispatchState
-	}
-	slots := make([]slot, len(specs))
+	// the excess points. The bookkeeping slice is pooled across requests.
+	slotsPtr := getSweepSlots(len(specs))
+	defer putSweepSlots(slotsPtr)
+	slots := *slotsPtr
 	var hits, coalesced uint64
 	for i, spec := range specs {
 		key := spec.Key()
 		data, call, state := s.start(spec, key, time.Until(overall))
-		slots[i] = slot{key: key, data: data, call: call, state: state}
+		slots[i] = sweepSlot{key: key, data: data, call: call, state: state}
 		switch state {
 		case dispatchHit:
 			hits++
@@ -105,10 +137,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Sweep-Hits", strconv.FormatUint(hits, 10))
 	w.Header().Set("X-Sweep-Coalesced", strconv.FormatUint(coalesced, 10))
 
-	// Phase 2: stream results in plan order. One deadline covers the whole
-	// batch; once it expires, every unfinished point reports the timeout in
-	// its line (the per-point framing survives).
+	// Phase 2: stream results in plan order through a buffered writer.
+	// Consecutive ready lines (cache hits, already-finished runs) batch
+	// into one ResponseWriter write; the buffer is pushed to the client
+	// only at a boundary — when the next point is still simulating and the
+	// handler is about to block — and once at the end. That replaces the
+	// write+flush syscall pair per line with one per run of ready lines,
+	// while clients still see every completed result before a stall.
+	// One deadline covers the whole batch; once it expires, every
+	// unfinished point reports the timeout in its line (the per-point
+	// framing survives).
 	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriterSize(w, sweepWriteSize)
+	push := func() { // boundary: hand buffered lines to the client now
+		bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 	deadline := time.NewTimer(time.Until(overall))
 	defer deadline.Stop()
 	expired := false
@@ -119,12 +165,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			if !expired {
 				select {
 				case <-sl.call.done:
-				case <-deadline.C:
-					expired = true
-					s.met.timeouts.Add(1)
-				case <-r.Context().Done():
-					// Client gone; stop streaming.
-					return
+				default:
+					// The point is still running: let the client read
+					// everything finished so far, then wait.
+					push()
+					select {
+					case <-sl.call.done:
+					case <-deadline.C:
+						expired = true
+						s.met.timeouts.Add(1)
+					case <-r.Context().Done():
+						// Client gone; stop streaming.
+						return
+					}
 				}
 			}
 			switch {
@@ -141,13 +194,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			s.met.sweepErrors.Add(1)
 			line, _ := json.Marshal(map[string]string{"error": err.Error(), "key": sl.key})
-			w.Write(append(line, '\n'))
+			bw.Write(line)
+			bw.WriteByte('\n')
 		} else {
-			w.Write(data)
-		}
-		if flusher != nil {
-			flusher.Flush()
+			bw.Write(data)
 		}
 	}
+	push()
 	s.met.latency.observe(time.Since(start))
 }
