@@ -44,6 +44,7 @@ type report struct {
 	GOMAXPROCS int                      `json:"gomaxprocs"`
 	Benchmarks []result                 `json:"benchmarks"`
 	Scaling    []hostbench.ScalingPoint `json:"scaling,omitempty"`
+	Fleet      []hostbench.FleetPoint   `json:"fleet,omitempty"`
 }
 
 // loadReport reads a JSON baseline previously written by this command.
@@ -109,6 +110,7 @@ func compare(oldPath, newPath string) error {
 		fmt.Printf("\n%s: removed (only in %s)\n", name, oldPath)
 	}
 	compareScaling(oldRep, newRep)
+	compareFleet(oldRep, newRep)
 	return nil
 }
 
@@ -134,6 +136,34 @@ func compareScaling(oldRep, newRep *report) {
 	}
 	for procs := range oldBy {
 		fmt.Printf("  procs=%d: removed\n", procs)
+	}
+}
+
+// compareFleet prints the fleet curve delta: per (workload, backends)
+// cell, router-path points/sec and the fleet-wide hit ratio. Baselines
+// recorded before fleet mode simply have no fleet section.
+func compareFleet(oldRep, newRep *report) {
+	if len(newRep.Fleet) == 0 && len(oldRep.Fleet) == 0 {
+		return
+	}
+	key := func(p hostbench.FleetPoint) string {
+		return fmt.Sprintf("%s/backends=%d", p.Workload, p.Backends)
+	}
+	oldBy := make(map[string]hostbench.FleetPoint, len(oldRep.Fleet))
+	for _, p := range oldRep.Fleet {
+		oldBy[key(p)] = p
+	}
+	fmt.Printf("\nfleet (router path, per workload x backends)\n")
+	for _, np := range newRep.Fleet {
+		op, ok := oldBy[key(np)]
+		delete(oldBy, key(np))
+		fmt.Printf("  %s\n", key(np))
+		fmt.Printf("    pts/s:     %s\n", delta(op.PtsPerSec, np.PtsPerSec, ok, "%.0f"))
+		fmt.Printf("    p99 us:    %s\n", delta(float64(op.P99US), float64(np.P99US), ok, "%.0f"))
+		fmt.Printf("    hit ratio: %s\n", delta(op.HitRatio, np.HitRatio, ok, "%.3f"))
+	}
+	for k := range oldBy {
+		fmt.Printf("  %s: removed\n", k)
 	}
 }
 
@@ -163,6 +193,7 @@ func main() {
 	out := flag.String("o", "BENCH_PR1.json", "output file (- for stdout)")
 	cmp := flag.Bool("compare", false, "compare two baseline files: -compare old.json new.json")
 	scalingPts := flag.Int("scaling-points", 2000, "simulation points per scaling-ladder rung (0 skips the ladder)")
+	fleetPts := flag.Int("fleet-points", 800, "router-path requests per fleet-curve cell (0 skips the fleet curve)")
 	flag.Parse()
 
 	if *cmp {
@@ -215,6 +246,10 @@ func main() {
 		ladder := hostbench.Ladder(rep.NumCPU)
 		fmt.Fprintf(os.Stderr, "running scaling ladder %v (%d points per rung)...\n", ladder, *scalingPts)
 		rep.Scaling = hostbench.MeasureScaling(ladder, *scalingPts)
+	}
+	if *fleetPts > 0 {
+		fmt.Fprintf(os.Stderr, "running fleet curve (%d points per cell)...\n", *fleetPts)
+		rep.Fleet = hostbench.MeasureFleet(*fleetPts)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -14,7 +14,15 @@
 // Retry-After with capped exponential backoff; retries are recorded in the
 // JSON run record as retries_429. With -sweep each request is a -batch
 // point plan POSTed to /v1/sweep, and the per-point cache profile comes
-// from the X-Sweep-* response headers. With -bench it also runs the
+// from the X-Sweep-* response headers.
+//
+// Working-set draws are uniform by default; -zipf s (s > 1) skews them
+// Zipf-fashion so a few specs dominate — the workload that exercises
+// dsmrouter's hot-key replication. All randomness derives from -seed, so a
+// recorded run names the exact request sequence that produced it. -targets
+// takes a comma-separated URL list and round-robins requests across it
+// (client-side spreading without a router in the path); the distribution,
+// seed, and target list land in the -o JSON provenance. With -bench it also runs the
 // in-process serving benchmarks (serve.BenchServe*) and records them
 // alongside the load run. -procs pins the client's GOMAXPROCS for
 // scaling-curve runs; the run record carries both the effective client
@@ -59,6 +67,43 @@ func workingSet(n int) []string {
 	return specs
 }
 
+// picker draws one client's request stream: a working-set spec with
+// probability dup (uniform, or Zipf-skewed when zipfS > 1 — rank 0
+// hottest), a never-seen spec otherwise. Each (seed, worker) pair names a
+// deterministic sequence, so a run is reproducible from its JSON record.
+type picker struct {
+	rng    *rand.Rand
+	specs  []string
+	dup    float64
+	zipf   *rand.Zipf
+	unique uint64
+}
+
+func newPicker(seed int64, worker int, specs []string, dup, zipfS float64) *picker {
+	rng := rand.New(rand.NewSource(seed<<20 + int64(worker)))
+	p := &picker{
+		rng:    rng,
+		specs:  specs,
+		dup:    dup,
+		unique: uint64(worker) << 32, // per-client unique-seed space
+	}
+	if zipfS > 1 {
+		p.zipf = rand.NewZipf(rng, zipfS, 1, uint64(len(specs)-1))
+	}
+	return p
+}
+
+func (p *picker) draw() string {
+	if p.rng.Float64() < p.dup {
+		if p.zipf != nil {
+			return p.specs[p.zipf.Uint64()]
+		}
+		return p.specs[p.rng.Intn(len(p.specs))]
+	}
+	p.unique++
+	return fmt.Sprintf(`{"app":"counter","procs":8,"c":8,"rounds":3,"seed":%d}`, p.unique)
+}
+
 // result is one request's outcome as the client saw it.
 type result struct {
 	latency    time.Duration
@@ -79,6 +124,13 @@ type loadStats struct {
 	DurationSec float64 `json:"duration_sec"`
 	DupRate     float64 `json:"dup_rate"`
 	SpecSet     int     `json:"spec_set"`
+
+	// Provenance: the seed all client randomness derives from, the Zipf
+	// exponent when working-set draws were skewed (0: uniform), and the
+	// full target list when requests were spread client-side.
+	Seed    int64    `json:"seed"`
+	ZipfS   float64  `json:"zipf_s,omitempty"`
+	Targets []string `json:"targets,omitempty"`
 
 	SweepBatch int `json:"sweep_batch,omitempty"` // points per /v1/sweep plan (0: /v1/sim mode)
 
@@ -133,24 +185,46 @@ func main() {
 		sweep = flag.Bool("sweep", false, "issue batch plans to /v1/sweep instead of single sims")
 		batch = flag.Int("batch", 8, "points per sweep plan (with -sweep)")
 		procs = flag.Int("procs", 0, "pin client GOMAXPROCS for scaling runs (0: runtime default)")
+		seed  = flag.Int64("seed", 1, "seed for all client randomness (reproducible request streams)")
+		zipfS = flag.Float64("zipf", 0, "Zipf exponent s > 1 for working-set draws (0: uniform)")
+		multi = flag.String("targets", "", "comma-separated base URLs to round-robin across (overrides -addr)")
 	)
 	flag.Parse()
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
 	}
+	if *zipfS != 0 && *zipfS <= 1 {
+		fmt.Fprintln(os.Stderr, "dsmload: -zipf needs s > 1 (the Zipf exponent)")
+		os.Exit(1)
+	}
+
+	targets := []string{strings.TrimSuffix(*addr, "/")}
+	if *multi != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*multi, ",") {
+			if t = strings.TrimSuffix(strings.TrimSpace(t), "/"); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "dsmload: -targets has no URLs")
+			os.Exit(1)
+		}
+	}
 
 	specs := workingSet(*nset)
 	client := &http.Client{Timeout: 60 * time.Second}
-	base := strings.TrimSuffix(*addr, "/")
-	url := base + "/v1/sim"
+	path := "/v1/sim"
 	if *sweep {
-		url = base + "/v1/sweep"
+		path = "/v1/sweep"
 	}
 
-	// Warm-up probe: fail fast when no server is listening.
-	if _, err := issue(client, base+"/v1/sim", specs[0]); err != nil {
-		fmt.Fprintf(os.Stderr, "dsmload: cannot reach %s: %v\n", base, err)
-		os.Exit(1)
+	// Warm-up probe: fail fast when any target is not listening.
+	for _, t := range targets {
+		if _, err := issue(client, t+"/v1/sim", specs[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmload: cannot reach %s: %v\n", t, err)
+			os.Exit(1)
+		}
 	}
 
 	results := make([][]result, *conc)
@@ -161,29 +235,23 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w) + 1))
-			unique := uint64(w) << 32 // per-client unique-seed space
-			draw := func() string {
-				if rng.Float64() < *dup {
-					return specs[rng.Intn(len(specs))]
-				}
-				unique++
-				return fmt.Sprintf(
-					`{"app":"counter","procs":8,"c":8,"rounds":3,"seed":%d}`, unique)
-			}
+			p := newPicker(*seed, w, specs, *dup, *zipfS)
+			rr := w // round-robin cursor, offset per worker so targets warm evenly
 			for time.Now().Before(deadline) {
+				url := targets[rr%len(targets)] + path
+				rr++
 				var r result
 				var err error
 				t0 := time.Now()
 				if *sweep {
 					points := make([]string, *batch)
 					for i := range points {
-						points[i] = draw()
+						points[i] = p.draw()
 					}
 					plan := `{"points":[` + strings.Join(points, ",") + `]}`
 					r, err = issueSweep(client, url, plan)
 				} else {
-					r, err = issueRetry(client, url, draw(), deadline)
+					r, err = issueRetry(client, url, p.draw(), deadline)
 				}
 				r.latency = time.Since(t0)
 				if err != nil {
@@ -197,10 +265,15 @@ func main() {
 	elapsed := time.Since(start)
 
 	stats := reduce(results, elapsed)
-	stats.Addr = *addr
+	stats.Addr = targets[0]
 	stats.Concurrency = *conc
 	stats.DupRate = *dup
 	stats.SpecSet = len(specs)
+	stats.Seed = *seed
+	stats.ZipfS = *zipfS
+	if len(targets) > 1 {
+		stats.Targets = targets
+	}
 	if *sweep {
 		stats.SweepBatch = *batch
 	}
@@ -221,7 +294,7 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Load:       stats,
 	}
-	if snap, err := fetchMetrics(client, strings.TrimSuffix(*addr, "/")+"/metrics"); err == nil {
+	if snap, err := fetchMetrics(client, targets[0]+"/metrics"); err == nil {
 		rep.ServerMetrics = snap
 		rep.ServerWorkers = snap.Workers
 	}

@@ -1,0 +1,96 @@
+// Command dsmrouter is the fleet front door: an HTTP router that spreads
+// the spec keyspace across N dsmserve backends with a consistent-hash
+// ring, coalesces concurrent identical misses fleet-wide, rescues primary
+// misses from peer caches, and replicates hot keys to every backend. It
+// exposes the same /v1 surface as a single dsmserve, byte-identical.
+//
+//	dsmserve -addr :8081 & dsmserve -addr :8082 &
+//	dsmrouter -addr :8080 -backends http://localhost:8081,http://localhost:8082
+//
+//	curl -s 'localhost:8080/v1/sim?app=counter&policy=UNC&prim=FAP&procs=16&c=8'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain gracefully: /healthz flips to 503 (so a balancer
+// stops sending), the listener stops accepting, in-flight relays finish,
+// then the process exits 0. The backends drain themselves.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dsm/internal/fleet"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		backends = flag.String("backends", "", "comma-separated dsmserve base URLs (required)")
+		vnodes   = flag.Int("vnodes", 0, "virtual nodes per backend on the hash ring (0 = 128)")
+		hot      = flag.Int("hot", 0, "per-key request count that triggers fleet-wide replication (0 = 64, negative disables)")
+		hotTrack = flag.Int("hot-track", 0, "keys the hot counter follows, LRU beyond (0 = 4096)")
+		timeout  = flag.Duration("timeout", 0, "per-upstream-request budget (0 = 60s)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+	log.SetPrefix("dsmrouter: ")
+	log.SetFlags(0)
+
+	var list []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			list = append(list, b)
+		}
+	}
+	rt, err := fleet.New(fleet.Config{
+		Backends:     list,
+		VNodes:       *vnodes,
+		HotThreshold: *hot,
+		HotTrack:     *hotTrack,
+		Timeout:      *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("routing %d backends on %s", len(list), *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new routing work (healthz goes 503 first, so a
+	// load balancer can eject this router), then let in-flight relays
+	// and sweep streams finish.
+	log.Printf("draining (budget %s)", *drain)
+	rt.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	m := rt.Metrics()
+	fmt.Fprintf(os.Stderr,
+		"dsmrouter: routed %d requests (%d hits, %d coalesced, %d peer fills, %d replicated, %d misses), clean exit\n",
+		m.Requests, m.Hits, m.Coalesced, m.PeerFills, m.Replications, m.Misses)
+}

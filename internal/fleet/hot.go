@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"container/list"
+	"sync"
+)
+
+// hotTracker is the space-bounded per-key request counter behind hot-key
+// replication: an LRU of at most cap keys, each carrying a hit count. A key
+// whose count reaches threshold is marked hot — the router then routes it
+// round-robin across every backend instead of pinning it to its hash owner,
+// so a skewed working set stops serializing on one shard. The LRU bound
+// makes the tracker an approximate top-K: a key hot enough to matter is
+// touched often enough never to be evicted, while the long uniform tail
+// cycles through the table without ever reaching the threshold.
+type hotTracker struct {
+	mu        sync.Mutex
+	cap       int // tracked keys bound; evict LRU beyond it
+	threshold int // count at which a key turns hot; <= 0 disables tracking
+	ll        *list.List
+	items     map[string]*list.Element
+	hotKeys   int
+}
+
+type hotEntry struct {
+	key   string
+	count int
+	hot   bool
+}
+
+func newHotTracker(capacity, threshold int) *hotTracker {
+	return &hotTracker{
+		cap:       capacity,
+		threshold: threshold,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+	}
+}
+
+// touch records one request for key. hot reports whether the key is
+// (now) hot; promoted is true exactly once per key — on the touch that
+// crossed the threshold — which is the router's cue to replicate the key's
+// result to every backend.
+func (t *hotTracker) touch(key string) (hot, promoted bool) {
+	if t.threshold <= 0 {
+		return false, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.items[key]
+	if !ok {
+		if t.ll.Len() >= t.cap {
+			oldest := t.ll.Back()
+			t.ll.Remove(oldest)
+			e := oldest.Value.(*hotEntry)
+			delete(t.items, e.key)
+			if e.hot {
+				t.hotKeys--
+			}
+		}
+		t.items[key] = t.ll.PushFront(&hotEntry{key: key, count: 1})
+		return false, false
+	}
+	t.ll.MoveToFront(el)
+	e := el.Value.(*hotEntry)
+	e.count++
+	if !e.hot && e.count >= t.threshold {
+		e.hot = true
+		t.hotKeys++
+		return true, true
+	}
+	return e.hot, false
+}
+
+// stats returns the tracked-key and hot-key counts.
+func (t *hotTracker) stats() (tracked, hot int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ll.Len(), t.hotKeys
+}

@@ -1,0 +1,72 @@
+package fleet
+
+import "sync/atomic"
+
+// metrics holds the router counters behind /metrics. All monotonic
+// atomics; the snapshot is consistent-enough, not atomic across fields.
+type metrics struct {
+	requests   atomic.Uint64 // /v1/sim requests accepted for routing
+	badRequest atomic.Uint64 // invalid specs/plans rejected with 400
+	coalesced  atomic.Uint64 // requests that joined an in-flight resolution
+	hits       atomic.Uint64 // resolutions served from some backend's cache
+	peerFills  atomic.Uint64 // primary-miss resolutions rescued by a peer's cache
+	misses     atomic.Uint64 // resolutions that paid a full backend simulation
+	probes     atomic.Uint64 // probe-only client requests routed through
+	rejected   atomic.Uint64 // backend 429s propagated to the client
+	replicated atomic.Uint64 // hot-key fill POSTs fanned to non-owner backends
+	upstreamEr atomic.Uint64 // upstream requests that failed at transport level
+	errors     atomic.Uint64 // requests answered 502 (no backend could resolve)
+
+	sweeps      atomic.Uint64 // /v1/sweep plans accepted for routing
+	sweepPoints atomic.Uint64 // points across accepted plans
+	sweepErrors atomic.Uint64 // sweep points answered with a router error line
+}
+
+// Snapshot is the exported /metrics payload of the router.
+type Snapshot struct {
+	Requests    uint64 `json:"requests"`
+	BadRequests uint64 `json:"bad_requests"`
+	Coalesced   uint64 `json:"coalesced"`
+
+	// Hits counts resolutions served from a backend result cache anywhere
+	// in the fleet (primary probe hit or peer fill); Misses counts full
+	// simulations forwarded. Hits/(Hits+Misses) is the fleet-wide hit
+	// ratio as the router sees it.
+	Hits      uint64 `json:"hits"`
+	PeerFills uint64 `json:"peer_fills"`
+	Misses    uint64 `json:"misses"`
+
+	Probes         uint64 `json:"probes"`
+	Rejected       uint64 `json:"rejected"`
+	Replications   uint64 `json:"replications"`
+	UpstreamErrors uint64 `json:"upstream_errors"`
+	Errors         uint64 `json:"errors"`
+
+	Sweeps      uint64 `json:"sweeps"`
+	SweepPoints uint64 `json:"sweep_points"`
+	SweepErrors uint64 `json:"sweep_errors"`
+
+	Backends        int      `json:"backends"`
+	BackendRequests []uint64 `json:"backend_requests"`
+	TrackedKeys     int      `json:"tracked_keys"`
+	HotKeys         int      `json:"hot_keys"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	return Snapshot{
+		Requests:       m.requests.Load(),
+		BadRequests:    m.badRequest.Load(),
+		Coalesced:      m.coalesced.Load(),
+		Hits:           m.hits.Load(),
+		PeerFills:      m.peerFills.Load(),
+		Misses:         m.misses.Load(),
+		Probes:         m.probes.Load(),
+		Rejected:       m.rejected.Load(),
+		Replications:   m.replicated.Load(),
+		UpstreamErrors: m.upstreamEr.Load(),
+		Errors:         m.errors.Load(),
+		Sweeps:         m.sweeps.Load(),
+		SweepPoints:    m.sweepPoints.Load(),
+		SweepErrors:    m.sweepErrors.Load(),
+	}
+}

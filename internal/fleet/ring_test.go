@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real spec keys: hex SHA-256 content addresses.
+		sum := sha256.Sum256([]byte(fmt.Sprintf("spec-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func backendNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://b%d.fleet:8080", i)
+	}
+	return out
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	backends := backendNames(4)
+	r := newRing(backends, 0)
+	for _, key := range ringKeys(200) {
+		o := r.owners(key, 2)
+		if len(o) != 2 || o[0] == o[1] {
+			t.Fatalf("owners(%s) = %v", key, o)
+		}
+		if again := r.owners(key, 2); o[0] != again[0] || o[1] != again[1] {
+			t.Fatalf("owners(%s) unstable: %v vs %v", key, o, again)
+		}
+	}
+	// A single-backend ring still answers, and never repeats.
+	solo := newRing(backendNames(1), 0)
+	if o := solo.owners(ringKeys(1)[0], 2); len(o) != 1 || o[0] != 0 {
+		t.Fatalf("solo owners = %v", o)
+	}
+}
+
+func TestRingPlacementIgnoresListOrder(t *testing.T) {
+	// Placement must hash backend names, not positions: the same fleet
+	// listed in a different order gives every key the same primary.
+	a := []string{"http://b0:1", "http://b1:1", "http://b2:1"}
+	b := []string{"http://b2:1", "http://b0:1", "http://b1:1"}
+	ra, rb := newRing(a, 0), newRing(b, 0)
+	for _, key := range ringKeys(500) {
+		pa := a[ra.owners(key, 1)[0]]
+		pb := b[rb.owners(key, 1)[0]]
+		if pa != pb {
+			t.Fatalf("key %s: primary %s vs %s after reorder", key, pa, pb)
+		}
+	}
+}
+
+func TestRingRemapBoundedOnRemove(t *testing.T) {
+	backends := backendNames(4)
+	keys := ringKeys(2000)
+	before := newRing(backends, 0)
+	after := newRing(backends[:3], 0) // backend 3 removed
+
+	moved := 0
+	for _, key := range keys {
+		pOld := before.owners(key, 1)[0]
+		pNew := after.owners(key, 1)[0]
+		if pOld != 3 {
+			// Consistent hashing's defining guarantee: a key not owned by
+			// the removed backend must keep its primary exactly.
+			if pNew != pOld {
+				t.Fatalf("key %s moved %d -> %d though backend 3 was removed", key, pOld, pNew)
+			}
+			continue
+		}
+		moved++
+	}
+	// The removed backend's share of the keyspace: ~1/4, with slack for
+	// vnode placement variance.
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("remap fraction %.3f outside [0.10, 0.45]: ring badly balanced", frac)
+	}
+}
+
+func TestRingRemapBoundedOnAdd(t *testing.T) {
+	keys := ringKeys(2000)
+	before := newRing(backendNames(4), 0)
+	after := newRing(backendNames(5), 0) // backend 4 added
+
+	moved := 0
+	for _, key := range keys {
+		pOld := before.owners(key, 1)[0]
+		pNew := after.owners(key, 1)[0]
+		if pNew != pOld {
+			// Keys may only move *to* the new backend.
+			if pNew != 4 {
+				t.Fatalf("key %s moved %d -> %d, not to the new backend", key, pOld, pNew)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.08 || frac > 0.40 {
+		t.Fatalf("remap fraction %.3f outside [0.08, 0.40] after add", frac)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	backends := backendNames(4)
+	r := newRing(backends, 0)
+	counts := make([]int, len(backends))
+	keys := ringKeys(4000)
+	for _, key := range keys {
+		counts[r.owners(key, 1)[0]]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("backend %d owns %.3f of the keyspace: %v", i, frac, counts)
+		}
+	}
+}
+
+func TestHotTrackerPromotionAndBound(t *testing.T) {
+	h := newHotTracker(4, 3)
+	for i := 0; i < 2; i++ {
+		if hot, promoted := h.touch("k"); hot || promoted {
+			t.Fatalf("touch %d: hot=%v promoted=%v before threshold", i, hot, promoted)
+		}
+	}
+	if hot, promoted := h.touch("k"); !hot || !promoted {
+		t.Fatal("third touch did not promote")
+	}
+	if hot, promoted := h.touch("k"); !hot || promoted {
+		t.Fatal("promotion must fire exactly once")
+	}
+	// The table is space-bounded: churning many cold keys through a cap-4
+	// tracker must not grow it, and the hot key, kept warm, must survive.
+	for i := 0; i < 100; i++ {
+		h.touch(fmt.Sprintf("cold-%d", i))
+		h.touch("k")
+	}
+	tracked, hot := h.stats()
+	if tracked > 4 {
+		t.Fatalf("tracked %d keys, cap 4", tracked)
+	}
+	if hot != 1 {
+		t.Fatalf("hot keys = %d, want the surviving promoted key", hot)
+	}
+	// Disabled tracker (threshold <= 0) is inert.
+	off := newHotTracker(4, -1)
+	for i := 0; i < 10; i++ {
+		if hot, promoted := off.touch("k"); hot || promoted {
+			t.Fatal("disabled tracker promoted a key")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dsm/internal/serve"
+)
+
+// upstream is one backend response captured for relay: status, the headers
+// worth forwarding, and the exact body bytes. backend is the index of the
+// server that produced it.
+type upstream struct {
+	status  int
+	header  http.Header
+	body    []byte
+	backend int
+}
+
+// maxRelayBody bounds one relayed /v1/sim response; outcome bodies are a
+// few KB, so this is a corruption guard, not a working limit.
+const maxRelayBody = 1 << 22
+
+// post issues one upstream POST carrying the canonical spec JSON and
+// captures the response. probe selects the backends' cache-only path.
+func (rt *Router) post(backend int, path string, body []byte) (*upstream, error) {
+	rt.perBack[backend].Add(1)
+	resp, err := rt.client.Post(rt.cfg.Backends[backend]+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		rt.met.upstreamEr.Add(1)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
+	if err != nil {
+		rt.met.upstreamEr.Add(1)
+		return nil, err
+	}
+	return &upstream{status: resp.StatusCode, header: resp.Header, body: data, backend: backend}, nil
+}
+
+// fill copies an outcome's bytes into backend's result cache via its
+// /v1/fill endpoint. Failures are counted but not fatal: a missed fill
+// costs a future peer probe, never correctness.
+func (rt *Router) fill(backend int, body []byte) bool {
+	res, err := rt.post(backend, "/v1/fill", body)
+	return err == nil && res.status == http.StatusNoContent
+}
+
+// resolve answers one spec key against the fleet, as the single-flight
+// leader. The route mirrors the paper's memory hierarchy one level up:
+// try the cheap local copy (target's cache probe), then a peer's copy
+// (secondary owner's probe + fill back), and only then pay the full cost
+// of "home memory" — a real simulation on the target. Hot keys route
+// round-robin over all backends instead of pinning to the hash owner, and
+// the touch that promotes a key fans its bytes to the whole fleet.
+func (rt *Router) resolve(key string, specJSON []byte, hot, promoted bool) (*upstream, error) {
+	owners := rt.ring.owners(key, 2)
+	target := owners[0]
+	if hot {
+		target = int(rt.rr.Add(1) % uint64(len(rt.cfg.Backends)))
+	}
+
+	var served *upstream
+	if res, err := rt.post(target, "/v1/sim?probe=1", specJSON); err == nil && res.status == http.StatusOK {
+		rt.met.hits.Add(1)
+		served = res
+	} else {
+		// Target miss: consult the key's other owner(s) before simulating.
+		// A found copy is relayed and filled into the target, turning the
+		// next request's primary miss into a primary hit.
+		for _, peer := range owners {
+			if peer == target {
+				continue
+			}
+			if res, err := rt.post(peer, "/v1/sim?probe=1", specJSON); err == nil && res.status == http.StatusOK {
+				rt.met.hits.Add(1)
+				rt.met.peerFills.Add(1)
+				rt.fill(target, res.body)
+				served = res
+				break
+			}
+		}
+	}
+	if served == nil {
+		res, err := rt.post(target, "/v1/sim", specJSON)
+		if err != nil {
+			return nil, err
+		}
+		if res.status == http.StatusOK {
+			rt.met.misses.Add(1)
+		}
+		served = res
+	}
+	if promoted && served.status == http.StatusOK {
+		// The key just crossed the hot threshold: fan its bytes to every
+		// backend that cannot already have them, so the round-robin
+		// routing that follows lands on a warm cache everywhere.
+		for b := range rt.cfg.Backends {
+			if b == target || b == served.backend {
+				continue
+			}
+			if rt.fill(b, served.body) {
+				rt.met.replicated.Add(1)
+			}
+		}
+	}
+	return served, nil
+}
+
+func (rt *Router) handleSim(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost && r.Method != http.MethodHead {
+		rt.writeError(w, http.StatusMethodNotAllowed, "use GET with query parameters or POST with a JSON spec")
+		return
+	}
+	if rt.closing.Load() {
+		rt.writeError(w, http.StatusServiceUnavailable, "router draining")
+		return
+	}
+	spec, err := serve.ParseSpecRequest(r)
+	if err == nil {
+		spec, err = spec.Normalize()
+	}
+	if err != nil {
+		rt.met.badRequest.Add(1)
+		rt.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := spec.Key()
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		rt.met.errors.Add(1)
+		rt.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	// Probe mode passes through as a fleet-wide probe: hit if any owner
+	// has the bytes, miss otherwise, never simulating — so a router can
+	// itself back a higher tier.
+	if r.Method == http.MethodHead || r.URL.Query().Get("probe") == "1" {
+		rt.met.probes.Add(1)
+		for _, b := range rt.ring.owners(key, 2) {
+			if res, err := rt.post(b, "/v1/sim?probe=1", specJSON); err == nil && res.status == http.StatusOK {
+				rt.relay(w, r, res, "hit")
+				return
+			}
+		}
+		w.Header().Set("X-Cache", "miss")
+		w.Header().Set("X-Spec-Key", key)
+		if r.Method == http.MethodHead {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		rt.writeError(w, http.StatusNotFound, "not cached in fleet")
+		return
+	}
+
+	rt.met.requests.Add(1)
+	hot, promoted := rt.hot.touch(key)
+	call, leader := rt.flight.join(key)
+	if leader {
+		res, err := rt.resolve(key, specJSON, hot, promoted)
+		rt.flight.complete(key, call, res, err)
+	} else {
+		rt.met.coalesced.Add(1)
+		select {
+		case <-call.done:
+		case <-r.Context().Done():
+			return // client gone; nothing useful to write
+		}
+	}
+	if call.err != nil {
+		rt.met.errors.Add(1)
+		rt.writeError(w, http.StatusBadGateway, fmt.Sprintf("no backend could resolve the request: %v", call.err))
+		return
+	}
+	cache := ""
+	if !leader {
+		cache = "coalesced"
+	}
+	rt.relay(w, r, call.res, cache)
+}
+
+// relay writes one captured backend response to the client: selected
+// headers, the status, and the body bytes exactly as received — the
+// byte-identity contract between router-path and direct-backend responses.
+// A non-empty cache overrides the backend's X-Cache (the router's own
+// coalescing provenance). Backend 429 backpressure, Retry-After included,
+// passes through here unchanged.
+func (rt *Router) relay(w http.ResponseWriter, r *http.Request, res *upstream, cache string) {
+	for _, h := range []string{"Content-Type", "X-Cache", "X-Spec-Key", "Retry-After"} {
+		if v := res.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	if cache != "" {
+		w.Header().Set("X-Cache", cache)
+	}
+	w.Header().Set("X-Fleet-Backend", rt.cfg.Backends[res.backend])
+	if res.status == http.StatusTooManyRequests {
+		rt.met.rejected.Add(1)
+	}
+	w.WriteHeader(res.status)
+	if r.Method != http.MethodHead {
+		w.Write(res.body)
+	}
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rt.Metrics())
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

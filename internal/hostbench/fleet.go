@@ -1,0 +1,196 @@
+package hostbench
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsm/internal/fleet"
+	"dsm/internal/serve"
+)
+
+// FleetPoint is one measurement on the fleet scaling curve: the
+// router-path throughput the host sustains with Backends in-process
+// dsmserve instances (one simulation worker each, so backend count is the
+// fleet's real capacity) behind one fleet.Router, under a named workload:
+//
+//   - dup09: dsmload's profile of record — 90% draws from a warmed 16-spec
+//     working set, 10% never-seen specs.
+//   - zipf: every draw from the working set, Zipf-skewed (s = 1.2, rank 0
+//     hottest), with the router's hot-key threshold lowered so replication
+//     engages mid-run.
+//   - miss: every request a never-seen spec — the pure capacity curve,
+//     where doubling backends should raise throughput.
+//
+// HitRatio, PeerFills, and Replications come from the router's own
+// counters, so the point records what the fleet machinery actually did,
+// not just how fast it went.
+type FleetPoint struct {
+	Backends     int     `json:"backends"`
+	Workload     string  `json:"workload"`
+	PtsPerSec    float64 `json:"pts_per_sec"`
+	P99US        uint64  `json:"p99_us"`
+	HitRatio     float64 `json:"hit_ratio"`
+	PeerFills    uint64  `json:"peer_fills"`
+	Replications uint64  `json:"replications"`
+}
+
+// fleetWorkloads orders the measured workloads; fleetCounts the backend
+// ladder. 4 backends on a small host measures oversubscription, the same
+// way the GOMAXPROCS ladder extends past the core count.
+var (
+	fleetWorkloads = []string{"dup09", "zipf", "miss"}
+	fleetCounts    = []int{1, 2, 4}
+)
+
+// handlerTransport serves upstream requests by invoking an in-process
+// handler for the request's host — the fleet benchmark's loopback: the
+// full router code path runs (URL routing, header relay, body copies)
+// without sockets, so the curve isolates fleet mechanics from kernel
+// networking.
+type handlerTransport map[string]http.Handler
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	h, ok := t[req.URL.Host]
+	if !ok {
+		return nil, fmt.Errorf("hostbench: no in-process backend %q", req.URL.Host)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	resp := w.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// MeasureFleet walks backends x workload, measuring points router-path
+// requests per cell. Unique-spec seeds advance monotonically across cells
+// and every cell gets a fresh fleet, so no cell hits a result a previous
+// one cached.
+func MeasureFleet(points int) []FleetPoint {
+	out := make([]FleetPoint, 0, len(fleetCounts)*len(fleetWorkloads))
+	seed := uint64(1) << 48 // distinct from the scaling ladder's seed space
+	for _, wl := range fleetWorkloads {
+		for _, nb := range fleetCounts {
+			pt, next := measureFleetCell(nb, points, wl, seed)
+			seed = next
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// measureFleetCell builds nb single-worker backends behind a router and
+// drives 2*nb closed-loop clients through it.
+func measureFleetCell(nb, points int, workload string, seed0 uint64) (FleetPoint, uint64) {
+	clients := 2 * nb
+	hosts := make([]string, nb)
+	transport := make(handlerTransport, nb)
+	backends := make([]*serve.Server, nb)
+	for i := 0; i < nb; i++ {
+		backends[i] = serve.New(serve.Config{Workers: 1, Queue: 2*clients + 16})
+		host := fmt.Sprintf("b%d.fleet", i)
+		hosts[i] = "http://" + host
+		transport[host] = backends[i].Handler()
+	}
+	defer func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+	cfg := fleet.Config{Backends: hosts, Transport: transport}
+	if workload == "zipf" {
+		cfg.HotThreshold = 32 // promote mid-run so the curve includes replication
+	}
+	rt, err := fleet.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("hostbench: fleet.New: %v", err))
+	}
+	h := rt.Handler()
+	post := func(body string) int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/sim", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w.Code
+	}
+
+	set := scalingWorkingSet()
+	if workload == "dup09" {
+		for _, spec := range set { // warm: every working-set spec simulates once
+			if code := post(spec); code != http.StatusOK {
+				panic(fmt.Sprintf("hostbench: fleet warmup answered %d", code))
+			}
+		}
+	}
+
+	var seed, failed atomic.Uint64
+	seed.Store(seed0 - 1) // Add(1) yields seed0 first
+	var handout atomic.Int64
+	fresh := func() string {
+		return fmt.Sprintf(`{"app":"counter","procs":8,"c":8,"rounds":3,"seed":%d}`, seed.Add(1))
+	}
+	lat := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			var zipf *rand.Zipf
+			if workload == "zipf" {
+				zipf = rand.NewZipf(rng, 1.2, 1, uint64(len(set)-1))
+			}
+			draw := func() string {
+				switch workload {
+				case "dup09":
+					if rng.Float64() < scalingDup {
+						return set[rng.Intn(len(set))]
+					}
+					return fresh()
+				case "zipf":
+					return set[zipf.Uint64()]
+				default: // miss
+					return fresh()
+				}
+			}
+			lat[c] = make([]time.Duration, 0, points/clients+1)
+			for handout.Add(1) <= int64(points) {
+				t0 := time.Now()
+				code := post(draw())
+				lat[c] = append(lat[c], time.Since(t0))
+				if code != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		panic(fmt.Sprintf("hostbench: fleet cell %s/%d dropped %d of %d points", workload, nb, n, points))
+	}
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	m := rt.Metrics()
+	pt := FleetPoint{
+		Backends:     nb,
+		Workload:     workload,
+		PtsPerSec:    float64(points) / elapsed.Seconds(),
+		P99US:        uint64(all[len(all)*99/100].Microseconds()),
+		PeerFills:    m.PeerFills,
+		Replications: m.Replications,
+	}
+	if resolved := m.Hits + m.Misses; resolved > 0 {
+		pt.HitRatio = float64(m.Hits) / float64(resolved)
+	}
+	return pt, seed.Load() + 1
+}

@@ -1,0 +1,33 @@
+package hostbench
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMeasureFleetCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet cell simulates real points")
+	}
+	pt, next := measureFleetCell(2, 60, "dup09", 1<<40)
+	if pt.Backends != 2 || pt.Workload != "dup09" {
+		t.Fatalf("cell mislabeled: %+v", pt)
+	}
+	if pt.PtsPerSec <= 0 || pt.P99US == 0 {
+		t.Fatalf("degenerate measurement: %+v", pt)
+	}
+	if pt.HitRatio <= 0 {
+		t.Fatalf("dup09 cell saw no cache hits: %+v", pt)
+	}
+	if next <= 1<<40 {
+		t.Fatalf("unique-seed space did not advance: %d", next)
+	}
+}
+
+func TestFleetTransportRejectsUnknownHost(t *testing.T) {
+	tr := handlerTransport{}
+	req := httptest.NewRequest("GET", "http://nowhere.fleet/healthz", nil)
+	if _, err := tr.RoundTrip(req); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}

@@ -84,6 +84,9 @@ type metrics struct {
 	timeouts   atomic.Uint64 // gave up waiting (per-request deadline)
 	errors     atomic.Uint64 // internal failures answered with 500
 	runs       atomic.Uint64 // simulations actually executed
+	probes     atomic.Uint64 // cache probes (HEAD or ?probe=1; never simulate)
+	probeHits  atomic.Uint64 // probes answered from the result cache
+	fills      atomic.Uint64 // results inserted via /v1/fill (peer fill / replication)
 
 	sweeps         atomic.Uint64 // /v1/sweep plans accepted for processing
 	sweepPoints    atomic.Uint64 // points across all accepted plans
@@ -107,6 +110,13 @@ type Snapshot struct {
 	Timeouts    uint64 `json:"timeouts"`
 	Errors      uint64 `json:"errors"`
 	Runs        uint64 `json:"runs"`
+
+	// Fleet-facing counters: cache probes (HEAD /v1/sim or ?probe=1) answer
+	// hit/miss without simulating, and fills are results inserted by a
+	// router via /v1/fill (peer fill and hot-key replication).
+	Probes    uint64 `json:"probes"`
+	ProbeHits uint64 `json:"probe_hits"`
+	Fills     uint64 `json:"fills"`
 
 	Sweeps         uint64 `json:"sweeps"`
 	SweepPoints    uint64 `json:"sweep_points"`
@@ -146,6 +156,9 @@ func (m *metrics) snapshot() Snapshot {
 		Timeouts:       m.timeouts.Load(),
 		Errors:         m.errors.Load(),
 		Runs:           m.runs.Load(),
+		Probes:         m.probes.Load(),
+		ProbeHits:      m.probeHits.Load(),
+		Fills:          m.fills.Load(),
 		Sweeps:         m.sweeps.Load(),
 		SweepPoints:    m.sweepPoints.Load(),
 		SweepHits:      m.sweepHits.Load(),

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func doProbe(s *Server, method, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func TestProbeNeverSimulates(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+
+	// Cold probe: 404 + X-Cache miss, and crucially no simulation ran.
+	miss := doProbe(s, http.MethodPost, "/v1/sim?probe=1", quickSpec)
+	if miss.Code != http.StatusNotFound || miss.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("cold probe = %d X-Cache=%q", miss.Code, miss.Header().Get("X-Cache"))
+	}
+	headMiss := doProbe(s, http.MethodHead, "/v1/sim?app=counter&procs=4&rounds=2", "")
+	if headMiss.Code != http.StatusNotFound || headMiss.Body.Len() != 0 {
+		t.Fatalf("cold HEAD = %d body=%q", headMiss.Code, headMiss.Body)
+	}
+	if m := s.Metrics(); m.Runs != 0 || m.Probes != 2 || m.ProbeHits != 0 || m.Requests != 0 {
+		t.Fatalf("metrics after cold probes = %+v", m)
+	}
+
+	// Simulate for real, then probe again: 200 with the exact cached bytes.
+	real := doJSON(s, quickSpec)
+	if real.Code != http.StatusOK {
+		t.Fatalf("sim = %d: %s", real.Code, real.Body)
+	}
+	hit := doProbe(s, http.MethodPost, "/v1/sim?probe=1", quickSpec)
+	if hit.Code != http.StatusOK || hit.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("warm probe = %d X-Cache=%q", hit.Code, hit.Header().Get("X-Cache"))
+	}
+	if !bytes.Equal(hit.Body.Bytes(), real.Body.Bytes()) {
+		t.Fatal("probe body differs from the simulated response")
+	}
+	headHit := doProbe(s, http.MethodHead, "/v1/sim?app=counter&procs=4&rounds=2", "")
+	if headHit.Code != http.StatusOK || headHit.Body.Len() != 0 {
+		t.Fatalf("warm HEAD = %d body=%q", headHit.Code, headHit.Body)
+	}
+	if m := s.Metrics(); m.Runs != 1 || m.Probes != 4 || m.ProbeHits != 2 {
+		t.Fatalf("metrics after warm probes = %+v", m)
+	}
+}
+
+func TestFillInsertsServableEntry(t *testing.T) {
+	// Simulate on one server, fill its response bytes into a second: the
+	// second must serve the key as a byte-identical cache hit without ever
+	// running the simulation itself. This is the peer-fill / replication
+	// primitive the fleet router is built on.
+	src := newTestServer(t, Config{Workers: 1})
+	dst := newTestServer(t, Config{Workers: 1})
+	orig := doJSON(src, quickSpec)
+	if orig.Code != http.StatusOK {
+		t.Fatalf("sim = %d: %s", orig.Code, orig.Body)
+	}
+
+	fill := doProbe(dst, http.MethodPost, "/v1/fill", orig.Body.String())
+	if fill.Code != http.StatusNoContent {
+		t.Fatalf("fill = %d: %s", fill.Code, fill.Body)
+	}
+	hit := doJSON(dst, quickSpec)
+	if hit.Code != http.StatusOK || hit.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("post-fill request = %d X-Cache=%q", hit.Code, hit.Header().Get("X-Cache"))
+	}
+	if !bytes.Equal(hit.Body.Bytes(), orig.Body.Bytes()) {
+		t.Fatal("filled entry differs from the source response")
+	}
+	if m := dst.Metrics(); m.Runs != 0 || m.Fills != 1 || m.CacheHits != 1 {
+		t.Fatalf("dst metrics = %+v", m)
+	}
+}
+
+func TestFillRejectsMislabeledBody(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	src := newTestServer(t, Config{Workers: 1})
+	orig := doJSON(src, quickSpec)
+
+	// A body whose key does not match its own spec must be rejected: fills
+	// may relocate results between backends, never relabel them.
+	bad := strings.Replace(orig.Body.String(), `"key":"`+orig.Header().Get("X-Spec-Key"),
+		`"key":"`+strings.Repeat("0", 64), 1)
+	w := doProbe(s, http.MethodPost, "/v1/fill", bad)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("mislabeled fill = %d: %s", w.Code, w.Body)
+	}
+	if w := doProbe(s, http.MethodPost, "/v1/fill", "not json"); w.Code != http.StatusBadRequest {
+		t.Fatalf("garbage fill = %d", w.Code)
+	}
+	if w := doProbe(s, http.MethodGet, "/v1/fill", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET fill = %d", w.Code)
+	}
+	if m := s.Metrics(); m.Fills != 0 || m.CacheEntries != 0 {
+		t.Fatalf("rejected fills mutated the cache: %+v", m)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -62,6 +63,7 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/sim", s.handleSim)
+	s.mux.HandleFunc("/v1/fill", s.handleFill)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -96,7 +98,7 @@ func (s *Server) Close() {
 // ------------------------------------------------------------ handlers --
 
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost && r.Method != http.MethodHead {
 		s.writeError(w, http.StatusMethodNotAllowed, "use GET with query parameters or POST with a JSON spec")
 		return
 	}
@@ -105,7 +107,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	spec, err := parseSpecRequest(r)
+	spec, err := ParseSpecRequest(r)
 	if err == nil {
 		spec, err = spec.Normalize()
 	}
@@ -114,8 +116,39 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.met.requests.Add(1)
 	key := spec.Key()
+
+	// Probe mode (HEAD, or ?probe=1 on GET/POST): answer from the result
+	// cache only, never simulating and never touching the queue. A hit is
+	// the normal 200 response (HEAD drops the body); a miss is 404 with
+	// X-Cache: miss. This is the cheap cache-visibility path the fleet
+	// router uses to ask "do you have this?" before paying for a
+	// simulation — a probe miss must stay O(cache lookup).
+	if r.Method == http.MethodHead || r.URL.Query().Get("probe") == "1" {
+		s.met.probes.Add(1)
+		data, ok := s.cache.get(key)
+		if !ok {
+			w.Header().Set("X-Cache", "miss")
+			w.Header().Set("X-Spec-Key", key)
+			if r.Method == http.MethodHead {
+				w.WriteHeader(http.StatusNotFound)
+				return
+			}
+			s.writeError(w, http.StatusNotFound, "not cached")
+			return
+		}
+		s.met.probeHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("X-Spec-Key", key)
+		if r.Method == http.MethodHead {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Write(data)
+		return
+	}
+	s.met.requests.Add(1)
 
 	data, call, state := s.start(spec, key, 0)
 	switch state {
@@ -218,6 +251,57 @@ func (s *Server) runEncoded(spec Spec, slot *exper.MachineSlot) (data []byte, er
 
 var errBusy = fmt.Errorf("queue full")
 
+// handleFill inserts an externally obtained result into the cache:
+// POST /v1/fill with a body that is byte-for-byte a /v1/sim response (the
+// canonical Outcome encoding). The fleet router uses this to copy a result
+// from the backend that has it to the backends that should — peer fill
+// after a membership change, and hot-key replication — without re-running
+// the simulation. The body's embedded spec is re-normalized and its content
+// address recomputed; a body whose bytes do not carry the key they claim is
+// rejected, so a fill can relocate results but never relabel them. The
+// endpoint trusts its callers beyond that (it is a fleet-internal surface,
+// like /metrics), so deployments must not expose it publicly.
+func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST with a /v1/sim response body")
+		return
+	}
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<22))
+	if err != nil {
+		s.met.badRequest.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad fill body: %v", err))
+		return
+	}
+	var claim struct {
+		Spec Spec   `json:"spec"`
+		Key  string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &claim); err != nil {
+		s.met.badRequest.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("fill body is not an outcome: %v", err))
+		return
+	}
+	spec, err := claim.Spec.Normalize()
+	if err != nil {
+		s.met.badRequest.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("fill spec: %v", err))
+		return
+	}
+	if key := spec.Key(); key != claim.Key {
+		s.met.badRequest.Add(1)
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("fill key %s does not match its spec (%s)", claim.Key, key))
+		return
+	}
+	s.cache.put(claim.Key, body)
+	s.met.fills.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.Metrics())
@@ -248,10 +332,12 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
-// parseSpecRequest decodes a spec from a POST JSON body or GET query
+// ParseSpecRequest decodes a spec from a POST JSON body or GET/HEAD query
 // parameters (app, policy, prim, cas, ldex, drop, procs, c, a, rounds,
-// size, seed — mirroring the cmd/dsmsim flags).
-func parseSpecRequest(r *http.Request) (Spec, error) {
+// size, seed — mirroring the cmd/dsmsim flags). Exported so the fleet
+// router parses requests exactly the way the backends it fronts do; the
+// result still needs Normalize before Key or Point.
+func ParseSpecRequest(r *http.Request) (Spec, error) {
 	var sp Spec
 	if r.Method == http.MethodPost {
 		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16))

@@ -9,6 +9,12 @@
 // simulation, bounded-queue backpressure (429 + Retry-After), per-request
 // deadlines, a batch sweep endpoint streaming NDJSON, and a metrics
 // surface. cmd/dsmserve wires it to a listener; cmd/dsmload drives it.
+//
+// For fleet deployments (internal/fleet fronts N of these servers behind a
+// consistent-hash router) the cache is also externally visible: HEAD
+// /v1/sim or ?probe=1 answers hit/miss from the cache without ever
+// simulating, and POST /v1/fill inserts a peer's response bytes so a
+// router can relocate results instead of re-running them.
 package serve
 
 import (
