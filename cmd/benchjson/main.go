@@ -45,6 +45,7 @@ type report struct {
 	Benchmarks []result                 `json:"benchmarks"`
 	Scaling    []hostbench.ScalingPoint `json:"scaling,omitempty"`
 	Fleet      []hostbench.FleetPoint   `json:"fleet,omitempty"`
+	Socket     []hostbench.SocketPoint  `json:"socket,omitempty"`
 }
 
 // loadReport reads a JSON baseline previously written by this command.
@@ -73,9 +74,20 @@ func delta(old, new float64, haveOld bool, format string) string {
 	return fmt.Sprintf(format+" -> "+format+" (%s)", old, new, pct)
 }
 
+// gatedBenches are the benchmarks -compare treats as a regression gate: a
+// >20% ns/op increase fails the comparison. They measure the simulator's
+// own hot loops, which are stable run to run; the serving and sweep
+// numbers are load- and host-sensitive, so those stay warn-only.
+var gatedBenches = map[string]bool{"HostEngine": true, "HostMachine": true}
+
+// gateThreshold is the fractional ns/op increase a gated benchmark may
+// show before -compare fails.
+const gateThreshold = 0.20
+
 // compare prints a per-benchmark table of ns/op, B/op, and allocs/op deltas
-// between two recorded baselines. Benchmarks present in only one file are
-// listed as added or removed.
+// between two recorded baselines, and errors when a gated benchmark's
+// ns/op regressed past gateThreshold. Benchmarks present in only one file
+// are listed as added or removed.
 func compare(oldPath, newPath string) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -98,6 +110,7 @@ func compare(oldPath, newPath string) error {
 		fmt.Println("warning: GOMAXPROCS differs; HostSweep par=max widths differ, so " +
 			"sweep speedup deltas reflect the width change, not the code")
 	}
+	var gateFailures []string
 	for _, nb := range newRep.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		delete(oldBy, nb.Name)
@@ -105,13 +118,56 @@ func compare(oldPath, newPath string) error {
 		fmt.Printf("  ns/op:     %s\n", delta(ob.NsPerOp, nb.NsPerOp, ok, "%.1f"))
 		fmt.Printf("  B/op:      %s\n", delta(float64(ob.BytesPerOp), float64(nb.BytesPerOp), ok, "%.0f"))
 		fmt.Printf("  allocs/op: %s\n", delta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp), ok, "%.0f"))
+		if ok && ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp*(1+gateThreshold) {
+			msg := fmt.Sprintf("%s ns/op regressed %.1f%% (%.1f -> %.1f)",
+				nb.Name, (nb.NsPerOp-ob.NsPerOp)/ob.NsPerOp*100, ob.NsPerOp, nb.NsPerOp)
+			if gatedBenches[nb.Name] {
+				fmt.Printf("  GATE FAIL: %s\n", msg)
+				gateFailures = append(gateFailures, msg)
+			} else {
+				fmt.Printf("  warning: %s (ungated)\n", msg)
+			}
+		}
 	}
 	for name := range oldBy {
 		fmt.Printf("\n%s: removed (only in %s)\n", name, oldPath)
 	}
 	compareScaling(oldRep, newRep)
 	compareFleet(oldRep, newRep)
+	compareSocket(oldRep, newRep)
+	if len(gateFailures) > 0 {
+		return fmt.Errorf("%d gated regression(s): %s", len(gateFailures), strings.Join(gateFailures, "; "))
+	}
 	return nil
+}
+
+// compareSocket prints the loopback-TCP curve delta: per mode, real-socket
+// points/sec, p99, and the connection-reuse profile. Baselines recorded
+// before the socket curve simply have no socket section.
+func compareSocket(oldRep, newRep *report) {
+	if len(newRep.Socket) == 0 && len(oldRep.Socket) == 0 {
+		return
+	}
+	key := func(p hostbench.SocketPoint) string {
+		return fmt.Sprintf("%s/batch=%d", p.Mode, p.Batch)
+	}
+	oldBy := make(map[string]hostbench.SocketPoint, len(oldRep.Socket))
+	for _, p := range oldRep.Socket {
+		oldBy[key(p)] = p
+	}
+	fmt.Printf("\nsocket (loopback TCP, per mode)\n")
+	for _, np := range newRep.Socket {
+		op, ok := oldBy[key(np)]
+		delete(oldBy, key(np))
+		fmt.Printf("  %s (clients=%d batch=%d dup=%.2f)\n", np.Mode, np.Clients, np.Batch, np.Dup)
+		fmt.Printf("    pts/s:       %s\n", delta(op.PtsPerSec, np.PtsPerSec, ok, "%.0f"))
+		fmt.Printf("    p99 us:      %s\n", delta(float64(op.P99US), float64(np.P99US), ok, "%.0f"))
+		fmt.Printf("    conns new:   %s\n", delta(float64(op.ConnsNew), float64(np.ConnsNew), ok, "%.0f"))
+		fmt.Printf("    conns reuse: %s\n", delta(float64(op.ConnsReused), float64(np.ConnsReused), ok, "%.0f"))
+	}
+	for mode := range oldBy {
+		fmt.Printf("  %s: removed\n", mode)
+	}
 }
 
 // compareScaling prints the multi-core ladder delta: per GOMAXPROCS rung,
@@ -194,6 +250,7 @@ func main() {
 	cmp := flag.Bool("compare", false, "compare two baseline files: -compare old.json new.json")
 	scalingPts := flag.Int("scaling-points", 2000, "simulation points per scaling-ladder rung (0 skips the ladder)")
 	fleetPts := flag.Int("fleet-points", 800, "router-path requests per fleet-curve cell (0 skips the fleet curve)")
+	socketPts := flag.Int("socket-points", 20000, "simulation points per loopback-TCP mode (0 skips the socket curve)")
 	flag.Parse()
 
 	if *cmp {
@@ -250,6 +307,10 @@ func main() {
 	if *fleetPts > 0 {
 		fmt.Fprintf(os.Stderr, "running fleet curve (%d points per cell)...\n", *fleetPts)
 		rep.Fleet = hostbench.MeasureFleet(*fleetPts)
+	}
+	if *socketPts > 0 {
+		fmt.Fprintf(os.Stderr, "running socket curve (%d points per mode)...\n", *socketPts)
+		rep.Socket = hostbench.MeasureSocket(*socketPts)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

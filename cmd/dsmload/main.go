@@ -32,23 +32,43 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/http/httptrace"
 	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"dsm/internal/serve"
 )
+
+// Connection accounting: every request carries an httptrace that counts
+// whether its connection came fresh off a dial or out of the idle pool.
+// The split lands in the run record (conns_new / conns_reused), so a
+// throughput regression is attributable — connection churn on the client
+// vs time spent on the server.
+var connsNew, connsReused atomic.Uint64
+
+var traceCtx = httptrace.WithClientTrace(context.Background(), &httptrace.ClientTrace{
+	GotConn: func(info httptrace.GotConnInfo) {
+		if info.Reused {
+			connsReused.Add(1)
+		} else {
+			connsNew.Add(1)
+		}
+	},
+})
 
 // workingSet builds the duplicate pool: n specs spread across the paper's
 // design space (policy x primitive x contention), all at the reduced scale
@@ -148,6 +168,15 @@ type loadStats struct {
 	P90Ms     float64 `json:"p90_ms"`
 	P99Ms     float64 `json:"p99_ms"`
 	MaxMs     float64 `json:"max_ms"`
+
+	// Client-side cost of the run: connections dialed vs reused (httptrace
+	// on every request; a healthy closed loop dials ~concurrency conns and
+	// reuses the rest) and the client process's own allocation rate across
+	// the measured window (runtime.MemStats delta / HTTP requests issued).
+	ConnsNew           uint64  `json:"conns_new"`
+	ConnsReused        uint64  `json:"conns_reused"`
+	ClientAllocsPerReq float64 `json:"client_allocs_per_req"`
+	ClientBytesPerReq  float64 `json:"client_bytes_per_req"`
 }
 
 type benchResult struct {
@@ -213,7 +242,15 @@ func main() {
 	}
 
 	specs := workingSet(*nset)
-	client := &http.Client{Timeout: 60 * time.Second}
+	// One idle slot per client per target: DefaultTransport keeps only two
+	// idle conns per host, so at -c 32 thirty clients would redial every
+	// request — the conns_new/conns_reused split in the run record is how
+	// that misconfiguration shows up.
+	transport := &http.Transport{
+		MaxIdleConns:        2 * *conc * len(targets),
+		MaxIdleConnsPerHost: *conc,
+	}
+	client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
 	path := "/v1/sim"
 	if *sweep {
 		path = "/v1/sweep"
@@ -226,6 +263,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	// The warm-up probes above are not part of the measured window: reset
+	// the connection counters, then bracket the loop with MemStats so the
+	// run record carries the client's own allocation rate.
+	connsNew.Store(0)
+	connsReused.Store(0)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 
 	results := make([][]result, *conc)
 	deadline := time.Now().Add(*dur)
@@ -263,8 +308,19 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	stats := reduce(results, elapsed)
+	stats.ConnsNew = connsNew.Load()
+	stats.ConnsReused = connsReused.Load()
+	// Per-HTTP-round-trip client cost: GotConn fires once per round trip,
+	// so the counter sum is the denominator (sweep plans are one round trip
+	// for -batch points; retried 429s each count).
+	if trips := stats.ConnsNew + stats.ConnsReused; trips > 0 {
+		stats.ClientAllocsPerReq = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(trips)
+		stats.ClientBytesPerReq = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(trips)
+	}
 	stats.Addr = targets[0]
 	stats.Concurrency = *conc
 	stats.DupRate = *dup
@@ -286,6 +342,8 @@ func main() {
 		100*stats.HitRatio, stats.Coalesced, stats.Misses)
 	fmt.Printf("  errors:  %d failed (%d rejected with 429, %d retried)\n",
 		stats.Failed, stats.Rejected, stats.Retries429)
+	fmt.Printf("  client:  %d conns dialed, %d reused; %.0f allocs (%.0f B) per round trip\n",
+		stats.ConnsNew, stats.ConnsReused, stats.ClientAllocsPerReq, stats.ClientBytesPerReq)
 
 	rep := output{
 		Date:       time.Now().UTC().Format(time.RFC3339),
@@ -338,10 +396,21 @@ func main() {
 	}
 }
 
+// post issues one traced POST: the shared httptrace counts the connection
+// as dialed or reused before the request body goes out.
+func post(client *http.Client, url, body string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(traceCtx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return client.Do(req)
+}
+
 // issue posts one spec and drains the response body (keep-alive requires
 // reading to EOF before reuse).
 func issue(client *http.Client, url, spec string) (result, error) {
-	resp, err := client.Post(url, "application/json", strings.NewReader(spec))
+	resp, err := post(client, url, spec)
 	if err != nil {
 		return result{}, err
 	}
@@ -402,7 +471,7 @@ func issueRetry(client *http.Client, url, spec string, deadline time.Time) (resu
 // computed at dispatch, and the line count checks the one-line-per-point
 // framing.
 func issueSweep(client *http.Client, url, plan string) (result, error) {
-	resp, err := client.Post(url, "application/json", strings.NewReader(plan))
+	resp, err := post(client, url, plan)
 	if err != nil {
 		return result{}, err
 	}

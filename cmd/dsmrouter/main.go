@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof listener only
 	"os"
 	"os/signal"
 	"strings"
@@ -40,10 +41,20 @@ func main() {
 		hotTrack = flag.Int("hot-track", 0, "keys the hot counter follows, LRU beyond (0 = 4096)")
 		timeout  = flag.Duration("timeout", 0, "per-upstream-request budget (0 = 60s)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		pprof    = flag.String("pprof", "", "serve /debug/pprof on this address (e.g. localhost:6061; empty disables)")
 	)
 	flag.Parse()
 	log.SetPrefix("dsmrouter: ")
 	log.SetFlags(0)
+
+	if *pprof != "" {
+		// Separate listener: profiling stays off the routing address, so
+		// exposing it never widens the public API surface.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprof)
+			log.Printf("pprof listener: %v", http.ListenAndServe(*pprof, nil))
+		}()
+	}
 
 	var list []string
 	for _, b := range strings.Split(*backends, ",") {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof listener only
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,10 +36,20 @@ func main() {
 		cache   = flag.Int("cache", 0, "result cache entries, LRU beyond (0 = 1024)")
 		timeout = flag.Duration("timeout", 0, "per-request deadline (0 = 30s)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		pprof   = flag.String("pprof", "", "serve /debug/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
 	log.SetPrefix("dsmserve: ")
 	log.SetFlags(0)
+
+	if *pprof != "" {
+		// Separate listener: profiling stays off the serving address, so
+		// exposing it never widens the public API surface.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprof)
+			log.Printf("pprof listener: %v", http.ListenAndServe(*pprof, nil))
+		}()
+	}
 
 	s := serve.New(serve.Config{
 		Workers:      *workers,

@@ -10,6 +10,7 @@ package apps
 import (
 	"fmt"
 
+	"dsm/internal/arch"
 	"dsm/internal/core"
 	"dsm/internal/locks"
 	"dsm/internal/machine"
@@ -66,11 +67,84 @@ func (pat Pattern) runsFor(round int) int {
 	return n
 }
 
-// RunSynthetic drives update on m's processors under the given sharing
-// pattern. Each round is separated by the MINT constant-time barrier, as
-// in the paper's methodology; update is invoked once per counter update.
-func RunSynthetic(m *machine.Machine, pat Pattern, update func(p *machine.Proc)) SyntheticResult {
-	procs := m.Procs()
+// synthRunner is the per-machine scaffolding a synthetic run needs: the
+// program closure handed to machine.Run, the per-application update
+// closures, and the lock/counter values they drive. One runner lives in
+// each machine's app-scratch slot, so a reused machine runs every
+// subsequent synthetic point without allocating closures or lock objects
+// — the sweep and serving hot path. All simulated state (the counter and
+// lock addresses) is still allocated through the machine per run, so a
+// reused runner replays exactly what fresh closures would.
+type synthRunner struct {
+	m    *machine.Machine
+	prog func(p *machine.Proc) // allocated once; body reads the fields below
+
+	pat     Pattern
+	procs   int
+	c       int
+	update  func(p *machine.Proc)
+	updates uint64
+
+	// Preallocated update bodies and the values they operate on, one set
+	// per synthetic application.
+	counterUpd, ttsUpd, mcsUpd func(p *machine.Proc)
+	counter                    locks.Counter
+	tts                        locks.TTSLock
+	mcs                        locks.MCSLock
+	ctr                        arch.Addr // the plain counter under the TTS/MCS locks
+}
+
+// runnerFor returns m's resident runner, creating it on first use.
+func runnerFor(m *machine.Machine) *synthRunner {
+	if r, ok := m.AppScratch().(*synthRunner); ok {
+		return r
+	}
+	r := &synthRunner{m: m}
+	r.prog = r.body
+	r.counterUpd = func(p *machine.Proc) { r.counter.Inc(p) }
+	r.ttsUpd = func(p *machine.Proc) {
+		r.tts.Acquire(p)
+		p.Store(r.ctr, p.Load(r.ctr)+1)
+		r.tts.Release(p)
+	}
+	r.mcsUpd = func(p *machine.Proc) {
+		r.mcs.Acquire(p)
+		p.Store(r.ctr, p.Load(r.ctr)+1)
+		r.mcs.Release(p)
+	}
+	m.SetAppScratch(r)
+	return r
+}
+
+// body is the per-processor program: rounds separated by the MINT
+// constant-time barrier, with the pattern selecting who updates when.
+func (r *synthRunner) body(p *machine.Proc) {
+	for round := 0; round < r.pat.Rounds; round++ {
+		if r.c == 1 {
+			// No contention: one processor per round, performing a
+			// write run; ownership rotates so data changes hands.
+			if p.ID() == round%r.procs {
+				runs := r.pat.runsFor(round)
+				for u := 0; u < runs; u++ {
+					r.update(p)
+					r.updates++
+				}
+			}
+		} else {
+			// Contention: c processors update concurrently; the active
+			// window rotates across rounds.
+			if (p.ID()-round*r.c%r.procs+r.procs)%r.procs < r.c {
+				r.update(p)
+				r.updates++
+			}
+		}
+		p.Barrier()
+	}
+}
+
+// run executes one synthetic point with the given update body.
+func (r *synthRunner) run(pat Pattern, update func(p *machine.Proc)) SyntheticResult {
+	procs := r.m.Procs()
 	c := pat.Contention
 	if c < 1 {
 		c = 1
@@ -78,66 +152,49 @@ func RunSynthetic(m *machine.Machine, pat Pattern, update func(p *machine.Proc))
 	if c > procs {
 		c = procs
 	}
-	var updates uint64
-	elapsed := m.Run(func(p *machine.Proc) {
-		for round := 0; round < pat.Rounds; round++ {
-			if c == 1 {
-				// No contention: one processor per round, performing a
-				// write run; ownership rotates so data changes hands.
-				if p.ID() == round%procs {
-					runs := pat.runsFor(round)
-					for u := 0; u < runs; u++ {
-						update(p)
-						updates++
-					}
-				}
-			} else {
-				// Contention: c processors update concurrently; the active
-				// window rotates across rounds.
-				if (p.ID()-round*c%procs+procs)%procs < c {
-					update(p)
-					updates++
-				}
-			}
-			p.Barrier()
-		}
-	})
-	res := SyntheticResult{Updates: updates, Elapsed: elapsed}
-	if updates > 0 {
-		res.AvgCycles = float64(elapsed) / float64(updates)
+	r.pat, r.procs, r.c = pat, procs, c
+	r.update = update
+	r.updates = 0
+	elapsed := r.m.Run(r.prog)
+	res := SyntheticResult{Updates: r.updates, Elapsed: elapsed}
+	if r.updates > 0 {
+		res.AvgCycles = float64(elapsed) / float64(r.updates)
 	}
+	r.update = nil
 	return res
+}
+
+// RunSynthetic drives update on m's processors under the given sharing
+// pattern. Each round is separated by the MINT constant-time barrier, as
+// in the paper's methodology; update is invoked once per counter update.
+func RunSynthetic(m *machine.Machine, pat Pattern, update func(p *machine.Proc)) SyntheticResult {
+	return runnerFor(m).run(pat, update)
 }
 
 // CounterApp is the paper's first synthetic application: a lock-free
 // counter updated with the primitive family under study.
 func CounterApp(m *machine.Machine, policy core.Policy, opts locks.Options, pat Pattern) SyntheticResult {
-	c := locks.NewCounter(m, policy, opts)
-	return RunSynthetic(m, pat, func(p *machine.Proc) { c.Inc(p) })
+	r := runnerFor(m)
+	r.counter = locks.Counter{Addr: m.AllocSync(policy), Opts: opts}
+	return r.run(pat, r.counterUpd)
 }
 
 // TTSApp is the second synthetic application: a counter protected by a
 // test-and-test-and-set lock with bounded exponential backoff. The counter
 // itself is ordinary (INV) data; only the lock uses the policy under study.
 func TTSApp(m *machine.Machine, policy core.Policy, opts locks.Options, pat Pattern) SyntheticResult {
-	l := locks.NewTTSLock(m, policy, opts)
-	counter := m.Alloc(4)
-	return RunSynthetic(m, pat, func(p *machine.Proc) {
-		l.Acquire(p)
-		p.Store(counter, p.Load(counter)+1)
-		l.Release(p)
-	})
+	r := runnerFor(m)
+	r.tts = *locks.NewTTSLock(m, policy, opts)
+	r.ctr = m.Alloc(4)
+	return r.run(pat, r.ttsUpd)
 }
 
 // MCSApp is the third synthetic application: a counter protected by an MCS
 // queue lock, exercising the case where load_linked/store_conditional
 // simulates compare_and_swap (the release path).
 func MCSApp(m *machine.Machine, policy core.Policy, opts locks.Options, pat Pattern) SyntheticResult {
-	l := locks.NewMCSLock(m, policy, opts)
-	counter := m.Alloc(4)
-	return RunSynthetic(m, pat, func(p *machine.Proc) {
-		l.Acquire(p)
-		p.Store(counter, p.Load(counter)+1)
-		l.Release(p)
-	})
+	r := runnerFor(m)
+	r.mcs.Init(m, policy, opts)
+	r.ctr = m.Alloc(4)
+	return r.run(pat, r.mcsUpd)
 }

@@ -421,10 +421,17 @@ func (h *HomeCtl) execMem(e *dir.Entry, m *msg) (val arch.Word, ok, wrote bool, 
 }
 
 func (h *HomeCtl) reservations(e *dir.Entry) *dir.ResvState {
-	if e.Reservations == nil {
-		e.Reservations = dir.NewResvState(h.sys.cfg.ResvScheme, h.sys.cfg.ResvLimit)
+	// Directory.Reset keeps reservation state allocated across machine
+	// reuse, but Reset may change the behavioral configuration, so a
+	// retained state whose scheme or limit no longer matches is replaced.
+	rs := e.Reservations
+	if rs == nil || rs.Scheme != h.sys.cfg.ResvScheme ||
+		(rs.Scheme == dir.ResvLimited && rs.Limit != h.sys.cfg.ResvLimit) {
+		rs = dir.NewResvState(h.sys.cfg.ResvScheme, h.sys.cfg.ResvLimit)
+		e.Reservations = rs
 	}
-	return e.Reservations
+	rs.Wake()
+	return rs
 }
 
 func (h *HomeCtl) handleUncOp(m *msg, base arch.Addr, e *dir.Entry) {

@@ -111,10 +111,22 @@ func (d *Directory) Init() {
 	d.entries = make(map[arch.Addr]*Entry)
 }
 
-// Reset forgets every entry, returning the directory to its post-Init
-// state while keeping the map's buckets allocated.
+// Reset forgets every entry's contents, returning the directory to a state
+// protocol-equivalent to post-Init while keeping the entries themselves
+// allocated: a reused machine references the same blocks every run, and
+// keeping the records makes Entry allocation-free in the steady state.
+// Lingering Unowned entries are invisible to the protocol (Entry would have
+// created an identical record on first touch) and to the coherence checker
+// (which only inspects entries for blocks actually cached).
 func (d *Directory) Reset() {
-	clear(d.entries)
+	for _, e := range d.entries {
+		e.State = Unowned
+		e.Sharers = 0
+		e.Owner = 0
+		if e.Reservations != nil {
+			e.Reservations.Reset()
+		}
+	}
 }
 
 // Entry returns the entry for the block containing a, creating it (Unowned)

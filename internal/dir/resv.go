@@ -49,6 +49,14 @@ type ResvState struct {
 
 	holders Bitset
 	serial  arch.Word
+
+	// dormant marks state retained across a Directory.Reset that no
+	// load_linked / store_conditional has touched again yet. A fresh
+	// machine creates reservation state lazily at the first such touch, so
+	// writes before that point never advance the serial; a dormant state
+	// ignores OnWrite the same way, keeping a reused machine's serials
+	// equal to a fresh machine's.
+	dormant bool
 }
 
 // NewResvState returns reservation state for the given scheme. Limit is
@@ -59,6 +67,21 @@ func NewResvState(scheme ResvScheme, limit int) *ResvState {
 	}
 	return &ResvState{Scheme: scheme, Limit: limit}
 }
+
+// Reset clears all reservations and the write serial, returning the state
+// to its post-New value. The scheme and limit are retained; callers whose
+// configuration changed between runs must replace the state instead (see
+// HomeCtl.reservations).
+func (r *ResvState) Reset() {
+	r.holders = 0
+	r.serial = 0
+	r.dormant = true
+}
+
+// Wake marks retained state as live again, the moment that corresponds to
+// lazy creation on a fresh machine. The protocol calls it when an LL/SC
+// touches the block.
+func (r *ResvState) Wake() { r.dormant = false }
 
 // Reserve records a reservation for node n at a load_linked. It returns
 // false when the scheme refuses the reservation (ResvLimited beyond the
@@ -100,6 +123,9 @@ func (r *ResvState) Serial() arch.Word { return r.serial }
 // serial is harmless in practice (the paper argues 32 bits suffice); the
 // simulator allows it.
 func (r *ResvState) OnWrite() {
+	if r.dormant {
+		return
+	}
 	r.holders = 0
 	r.serial++
 }

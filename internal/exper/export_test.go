@@ -1,0 +1,5 @@
+package exper
+
+// GroupOrderForTest exposes the grouped execution order to the package's
+// external tests.
+var GroupOrderForTest = groupOrder

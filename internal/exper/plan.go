@@ -3,6 +3,7 @@ package exper
 import (
 	"dsm/internal/apps"
 	"dsm/internal/machine"
+	"dsm/internal/mesh"
 	"dsm/internal/report"
 )
 
@@ -138,12 +139,56 @@ type Plan struct {
 // order. Each sweep worker owns a dedicated machine slot it reuses across
 // the plan's points (see SweepSlots), so no shared pool sits on the
 // per-point path.
+//
+// Points are *executed* grouped by machine geometry (groupOrder) so a
+// mixed-geometry plan does not thrash the slots' resident machines, but
+// results land in plan order regardless: every point's simulation is
+// independent and replays identically on a fresh or reset machine, so
+// execution order affects host time only and par-1 output stays
+// byte-identical to par-N.
 func Run(pl Plan) []Result {
 	out := make([]Result, len(pl.Points))
-	SweepSlots(len(pl.Points), pl.Par, func(s *MachineSlot, i int) {
+	order := groupOrder(pl.Points)
+	SweepSlots(len(pl.Points), pl.Par, func(s *MachineSlot, k int) {
+		i := order[k]
 		out[i] = pl.Points[i].RunSlot(s, pl.Collect)
 	})
 	return out
+}
+
+// geomKey is the structural identity of a point's machine: the part of its
+// configuration machine.Reset cannot change. Points sharing a geomKey can
+// share a resident machine across runs.
+type geomKey struct {
+	nodes int
+	mesh  mesh.Config
+}
+
+func pointGeom(p Point) geomKey {
+	cfg := MachineConfig(p.Scale, p.Bar)
+	return geomKey{nodes: cfg.Nodes, mesh: cfg.Mesh}
+}
+
+// groupOrder returns an execution order for the points: plan indices
+// reordered so points sharing a machine geometry run consecutively.
+// Groups appear in order of first appearance and points keep their plan
+// order within a group, so a single-geometry plan (the common case)
+// executes in exactly plan order.
+func groupOrder(points []Point) []int {
+	groups := make(map[geomKey][]int)
+	var keys []geomKey
+	for i, p := range points {
+		k := pointGeom(p)
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	order := make([]int, 0, len(points))
+	for _, k := range keys {
+		order = append(order, groups[k]...)
+	}
+	return order
 }
 
 // SyntheticPlan is the figures 3-5 grid for one synthetic app: every bar

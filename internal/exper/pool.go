@@ -29,27 +29,62 @@ import (
 // changes host time only. Machines of mismatched geometry (Reset returns
 // false) are simply dropped back to the GC.
 
-// MachineSlot holds one worker goroutine's dedicated machine. The zero
-// value is ready to use; the first Machine call builds the resident
-// machine and later calls reset-and-reuse it whenever the requested
-// geometry matches. A slot must only be used by one goroutine at a time —
-// that exclusivity is the point: no pool lock, no double-release guard,
-// no handoff between cores.
+// SlotMachines bounds how many machines of distinct geometry one slot
+// keeps resident. Mixed-geometry work (a sweep spanning several processor
+// counts, a serve worker fed arbitrary specs) cycles through its
+// geometries without rebuilding, while the worst case stays a few MB of
+// resident simulator state per worker.
+const SlotMachines = 4
+
+// MachineSlot holds one worker goroutine's dedicated machines: a small
+// most-recently-used cache keyed by machine geometry. The zero value is
+// ready to use; Machine builds on first use of a geometry and
+// reset-and-reuses thereafter, evicting the least recently used machine
+// past the SlotMachines bound. A slot must only be used by one goroutine
+// at a time — that exclusivity is the point: no pool lock, no
+// double-release guard, no handoff between cores.
 type MachineSlot struct {
-	m *machine.Machine
+	ms []*machine.Machine // most recently used first; len <= SlotMachines
+
+	builds uint64 // machines constructed (cache misses)
+	resets uint64 // machines reset-and-reused (cache hits)
 }
 
-// Machine returns a machine configured as cfg, reusing the slot's resident
-// machine when its structure matches and replacing it otherwise. The
-// returned machine stays owned by the slot: do not release it to the
-// shared pool, just call Machine again for the next run.
+// Machine returns a machine configured as cfg, reusing a resident machine
+// whose structure matches and building one otherwise. The returned machine
+// stays owned by the slot: do not release it to the shared pool, just call
+// Machine again for the next run. Matching is by attempted Reset — Reset
+// refuses structural mismatches and leaves the machine untouched, so
+// probing the residents in recency order is both the lookup and the reuse.
 func (s *MachineSlot) Machine(cfg core.Config) *machine.Machine {
-	if s.m != nil && s.m.Reset(cfg) {
-		return s.m
+	for i, m := range s.ms {
+		if m.Reset(cfg) {
+			s.resets++
+			if i != 0 {
+				copy(s.ms[1:i+1], s.ms[:i])
+				s.ms[0] = m
+			}
+			return m
+		}
 	}
-	s.m = machine.New(cfg)
-	return s.m
+	m := machine.New(cfg)
+	s.builds++
+	if len(s.ms) < SlotMachines {
+		s.ms = append(s.ms, nil)
+	}
+	// Shift right; when the slot is full this drops the last (least
+	// recently used) machine to the garbage collector.
+	copy(s.ms[1:], s.ms)
+	s.ms[0] = m
+	return m
 }
+
+// Stats reports the slot's lifetime cache behavior: machines built (misses,
+// including evictions refilled later) and machines reset-and-reused (hits).
+func (s *MachineSlot) Stats() (builds, resets uint64) { return s.builds, s.resets }
+
+// Resident returns how many machines the slot currently keeps.
+func (s *MachineSlot) Resident() int { return len(s.ms) }
 
 // machinePool recycles machines between one-off runs that have no
 // per-worker slot to live in. See the package comment above for when to

@@ -10,9 +10,10 @@ import "sync"
 // on top of whatever coalescing the chosen backend would have done itself
 // (the router version also saves the N-1 upstream connections).
 type flightCall struct {
-	done chan struct{}
-	res  *upstream
-	err  error
+	done      chan struct{}
+	res       *upstream
+	err       error
+	followers int // joins after the leader's; guarded by the group mutex
 }
 
 // flightGroup is the router's in-flight table. A single mutex is enough
@@ -33,6 +34,7 @@ func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if c, ok := g.calls[key]; ok {
+		c.followers++
 		return c, false
 	}
 	c = &flightCall{done: make(chan struct{})}
@@ -42,11 +44,16 @@ func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
 
 // complete publishes the leader's result and wakes every follower. The key
 // is removed before done closes so a late arrival starts a fresh
-// resolution — which will land on a backend cache hit anyway.
-func (g *flightGroup) complete(key string, c *flightCall, res *upstream, err error) {
+// resolution — which will land on a backend cache hit anyway. The returned
+// follower count is final (joins stop once the key is gone): zero means
+// the leader is the result's only reader and may recycle its buffer after
+// relaying.
+func (g *flightGroup) complete(key string, c *flightCall, res *upstream, err error) int {
 	c.res, c.err = res, err
 	g.mu.Lock()
 	delete(g.calls, key)
+	n := c.followers
 	g.mu.Unlock()
 	close(c.done)
+	return n
 }

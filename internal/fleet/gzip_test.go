@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func gunzip(t *testing.T, b []byte) []byte {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("gzip header: %v", err)
+	}
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	return out
+}
+
+func (f *testFleet) doGzip(method, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	req.Header.Set("Accept-Encoding", "gzip")
+	w := httptest.NewRecorder()
+	f.rt.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// TestRouterGzipHitInflatesToIdentityBytes is the routed compression
+// contract: a gzip-negotiated hit through the router must carry the
+// backend's precompressed variant — Content-Encoding intact across the
+// relay — and inflate to exactly the identity bytes a plain client gets.
+func TestRouterGzipHitInflatesToIdentityBytes(t *testing.T) {
+	f := newTestFleet(t, 2, Config{}, nil)
+
+	// The miss path answers identity regardless of Accept-Encoding (the
+	// backend computes, encodes, and writes the fresh outcome unencoded).
+	first := f.doGzip(http.MethodPost, "/v1/sim", quickSpec)
+	if first.Code != http.StatusOK || first.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first = %d X-Cache=%q: %s", first.Code, first.Header().Get("X-Cache"), first.Body)
+	}
+	if enc := first.Header().Get("Content-Encoding"); enc != "" {
+		t.Fatalf("miss carries Content-Encoding %q", enc)
+	}
+
+	// Warm gzip hit: compressed on the wire, identity after inflation.
+	zw := f.doGzip(http.MethodPost, "/v1/sim", quickSpec)
+	if zw.Code != http.StatusOK || zw.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("gzip hit = %d X-Cache=%q: %s", zw.Code, zw.Header().Get("X-Cache"), zw.Body)
+	}
+	if enc := zw.Header().Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+	if vary := zw.Header().Get("Vary"); vary != "Accept-Encoding" {
+		t.Fatalf("Vary = %q, want Accept-Encoding", vary)
+	}
+	if zw.Body.Len() >= first.Body.Len() {
+		t.Fatalf("gzip body (%d bytes) not smaller than identity (%d bytes)", zw.Body.Len(), first.Body.Len())
+	}
+	if got := gunzip(t, zw.Body.Bytes()); !bytes.Equal(got, first.Body.Bytes()) {
+		t.Fatal("routed gzip hit does not inflate to the identity bytes")
+	}
+
+	// A plain client right after still gets the identity representation.
+	plain := f.do(http.MethodPost, "/v1/sim", quickSpec)
+	if plain.Code != http.StatusOK || plain.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("plain hit = %d X-Cache=%q", plain.Code, plain.Header().Get("X-Cache"))
+	}
+	if enc := plain.Header().Get("Content-Encoding"); enc != "" {
+		t.Fatalf("plain hit carries Content-Encoding %q", enc)
+	}
+	if !bytes.Equal(plain.Body.Bytes(), first.Body.Bytes()) {
+		t.Fatal("plain hit drifted from the miss bytes")
+	}
+
+	// The content negotiation never cost a second simulation.
+	if runs := f.totalRuns(); runs != 1 {
+		t.Fatalf("fleet ran %d simulations, want 1", runs)
+	}
+}
+
+// TestRouterGzipProbePassthrough checks the probe path relays the
+// compressed representation too: a HEAD stays body-less, a GET probe
+// carries gzip when negotiated.
+func TestRouterGzipProbePassthrough(t *testing.T) {
+	f := newTestFleet(t, 2, Config{}, nil)
+	warm := f.do(http.MethodPost, "/v1/sim", quickSpec)
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm = %d", warm.Code)
+	}
+	w := f.doGzip(http.MethodPost, "/v1/sim?probe=1", quickSpec)
+	if w.Code != http.StatusOK || w.Header().Get("Content-Encoding") != "gzip" {
+		t.Fatalf("gzip probe = %d enc=%q", w.Code, w.Header().Get("Content-Encoding"))
+	}
+	if got := gunzip(t, w.Body.Bytes()); !bytes.Equal(got, warm.Body.Bytes()) {
+		t.Fatal("probe body does not inflate to the served bytes")
+	}
+}

@@ -6,48 +6,124 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
 	"dsm/internal/serve"
 )
 
 // upstream is one backend response captured for relay: status, the headers
 // worth forwarding, and the exact body bytes. backend is the index of the
-// server that produced it.
+// server that produced it. body aliases a pooled buffer (buf) until
+// release; a released upstream keeps its status and headers but not its
+// bytes.
 type upstream struct {
 	status  int
 	header  http.Header
 	body    []byte
+	buf     *[]byte
 	backend int
 }
+
+// bodyBufPool recycles upstream body buffers across relays. Outcome bodies
+// are a few KB, so the steady-state router path reuses the same handful of
+// buffers instead of allocating one per upstream fetch.
+var bodyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 8<<10); return &b }}
+
+// maxPooledBody caps what release returns to the pool; anything a sweep or
+// pathological backend inflates beyond this goes to the GC instead of
+// pinning memory in the pool.
+const maxPooledBody = 1 << 20
+
+// release returns the upstream's buffer to the pool. Call it only once the
+// body bytes are dead: after a relay with no coalesced followers, or on a
+// response that will never be relayed (failed probes, fill acks).
+func (u *upstream) release() {
+	bp := u.buf
+	u.buf, u.body = nil, nil
+	if bp == nil || cap(*bp) > maxPooledBody {
+		return
+	}
+	*bp = (*bp)[:0]
+	bodyBufPool.Put(bp)
+}
+
+// readBody drains r into a pool-obtained buffer, returning the filled
+// bytes and the buffer for a later release. On error the buffer goes
+// straight back to the pool.
+func readBody(r io.Reader) ([]byte, *[]byte, error) {
+	bp := bodyBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			*bp = buf
+			return buf, bp, nil
+		}
+		if err != nil {
+			*bp = buf[:0]
+			bodyBufPool.Put(bp)
+			return nil, nil, err
+		}
+	}
+}
+
+// Accept-Encoding values for upstream fetches. The value is always set
+// explicitly: an explicit header disables the transport's transparent
+// gzip handling, which would otherwise decompress (and strip the
+// Content-Encoding from) backend responses the router means to relay
+// compressed — or worse, hand gzip bytes to /v1/fill, which JSON-decodes
+// its body.
+const (
+	acceptIdentity = "identity"
+	acceptGzip     = "gzip"
+)
 
 // maxRelayBody bounds one relayed /v1/sim response; outcome bodies are a
 // few KB, so this is a corruption guard, not a working limit.
 const maxRelayBody = 1 << 22
 
 // post issues one upstream POST carrying the canonical spec JSON and
-// captures the response. probe selects the backends' cache-only path.
-func (rt *Router) post(backend int, path string, body []byte) (*upstream, error) {
+// captures the response into a pooled buffer. accept picks the wire
+// representation: acceptIdentity for bodies the router will re-parse or
+// feed to /v1/fill, acceptGzip when relaying to a client that negotiated
+// gzip.
+func (rt *Router) post(backend int, path string, body []byte, accept string) (*upstream, error) {
 	rt.perBack[backend].Add(1)
-	resp, err := rt.client.Post(rt.cfg.Backends[backend]+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, rt.cfg.Backends[backend]+path, bytes.NewReader(body))
+	if err != nil {
+		rt.met.upstreamEr.Add(1)
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept-Encoding", accept)
+	resp, err := rt.client.Do(req)
 	if err != nil {
 		rt.met.upstreamEr.Add(1)
 		return nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
+	data, bp, err := readBody(io.LimitReader(resp.Body, maxRelayBody))
 	if err != nil {
 		rt.met.upstreamEr.Add(1)
 		return nil, err
 	}
-	return &upstream{status: resp.StatusCode, header: resp.Header, body: data, backend: backend}, nil
+	return &upstream{status: resp.StatusCode, header: resp.Header, body: data, buf: bp, backend: backend}, nil
 }
 
 // fill copies an outcome's bytes into backend's result cache via its
 // /v1/fill endpoint. Failures are counted but not fatal: a missed fill
 // costs a future peer probe, never correctness.
 func (rt *Router) fill(backend int, body []byte) bool {
-	res, err := rt.post(backend, "/v1/fill", body)
-	return err == nil && res.status == http.StatusNoContent
+	res, err := rt.post(backend, "/v1/fill", body, acceptIdentity)
+	if err != nil {
+		return false
+	}
+	res.release()
+	return res.status == http.StatusNoContent
 }
 
 // resolve answers one spec key against the fleet, as the single-flight
@@ -57,18 +133,30 @@ func (rt *Router) fill(backend int, body []byte) bool {
 // of "home memory" — a real simulation on the target. Hot keys route
 // round-robin over all backends instead of pinning to the hash owner, and
 // the touch that promotes a key fans its bytes to the whole fleet.
-func (rt *Router) resolve(key string, specJSON []byte, hot, promoted bool) (*upstream, error) {
+//
+// gz selects gzip for the target fetches; the caller must pass false when
+// promoted is true, since a promoted body fans out through /v1/fill and so
+// must stay identity. Peer probes are always identity for the same reason:
+// their bytes fill back into the target.
+func (rt *Router) resolve(key string, specJSON []byte, hot, promoted, gz bool) (*upstream, error) {
 	owners := rt.ring.owners(key, 2)
 	target := owners[0]
 	if hot {
 		target = int(rt.rr.Add(1) % uint64(len(rt.cfg.Backends)))
 	}
+	accept := acceptIdentity
+	if gz {
+		accept = acceptGzip
+	}
 
 	var served *upstream
-	if res, err := rt.post(target, "/v1/sim?probe=1", specJSON); err == nil && res.status == http.StatusOK {
+	if res, err := rt.post(target, "/v1/sim?probe=1", specJSON, accept); err == nil && res.status == http.StatusOK {
 		rt.met.hits.Add(1)
 		served = res
 	} else {
+		if res != nil {
+			res.release()
+		}
 		// Target miss: consult the key's other owner(s) before simulating.
 		// A found copy is relayed and filled into the target, turning the
 		// next request's primary miss into a primary hit.
@@ -76,17 +164,21 @@ func (rt *Router) resolve(key string, specJSON []byte, hot, promoted bool) (*ups
 			if peer == target {
 				continue
 			}
-			if res, err := rt.post(peer, "/v1/sim?probe=1", specJSON); err == nil && res.status == http.StatusOK {
+			res, err := rt.post(peer, "/v1/sim?probe=1", specJSON, acceptIdentity)
+			if err == nil && res.status == http.StatusOK {
 				rt.met.hits.Add(1)
 				rt.met.peerFills.Add(1)
 				rt.fill(target, res.body)
 				served = res
 				break
 			}
+			if res != nil {
+				res.release()
+			}
 		}
 	}
 	if served == nil {
-		res, err := rt.post(target, "/v1/sim", specJSON)
+		res, err := rt.post(target, "/v1/sim", specJSON, accept)
 		if err != nil {
 			return nil, err
 		}
@@ -136,16 +228,26 @@ func (rt *Router) handleSim(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	gz := serve.AcceptsGzip(r)
 
 	// Probe mode passes through as a fleet-wide probe: hit if any owner
 	// has the bytes, miss otherwise, never simulating — so a router can
 	// itself back a higher tier.
 	if r.Method == http.MethodHead || r.URL.Query().Get("probe") == "1" {
 		rt.met.probes.Add(1)
+		accept := acceptIdentity
+		if gz {
+			accept = acceptGzip
+		}
 		for _, b := range rt.ring.owners(key, 2) {
-			if res, err := rt.post(b, "/v1/sim?probe=1", specJSON); err == nil && res.status == http.StatusOK {
+			res, err := rt.post(b, "/v1/sim?probe=1", specJSON, accept)
+			if err == nil && res.status == http.StatusOK {
 				rt.relay(w, r, res, "hit")
+				res.release()
 				return
+			}
+			if res != nil {
+				res.release()
 			}
 		}
 		w.Header().Set("X-Cache", "miss")
@@ -160,10 +262,20 @@ func (rt *Router) handleSim(w http.ResponseWriter, r *http.Request) {
 
 	rt.met.requests.Add(1)
 	hot, promoted := rt.hot.touch(key)
-	call, leader := rt.flight.join(key)
+	// A promoted key resolves identity-encoded — its body fans out through
+	// /v1/fill — so its flight stays on the plain key. Otherwise gzip and
+	// identity requests fly separately: a follower must never inherit a
+	// representation its client did not negotiate.
+	wantGz := gz && !promoted
+	fkey := key
+	if wantGz {
+		fkey += "+gz"
+	}
+	call, leader := rt.flight.join(fkey)
+	var followers int
 	if leader {
-		res, err := rt.resolve(key, specJSON, hot, promoted)
-		rt.flight.complete(key, call, res, err)
+		res, err := rt.resolve(key, specJSON, hot, promoted, wantGz)
+		followers = rt.flight.complete(fkey, call, res, err)
 	} else {
 		rt.met.coalesced.Add(1)
 		select {
@@ -182,6 +294,18 @@ func (rt *Router) handleSim(w http.ResponseWriter, r *http.Request) {
 		cache = "coalesced"
 	}
 	rt.relay(w, r, call.res, cache)
+	if leader && followers == 0 {
+		// Sole reader of these bytes; followers, when any joined, keep the
+		// buffer alive past this handler, so it stays off the pool.
+		call.res.release()
+	}
+}
+
+// relayHeaders is the allowlist relay copies from a captured backend
+// response. Content-Encoding and Vary travel with the body bytes: a
+// gzip-negotiated relay must carry the coding that matches its payload.
+var relayHeaders = [...]string{
+	"Content-Type", "Content-Encoding", "Vary", "X-Cache", "X-Spec-Key", "Retry-After",
 }
 
 // relay writes one captured backend response to the client: selected
@@ -191,7 +315,7 @@ func (rt *Router) handleSim(w http.ResponseWriter, r *http.Request) {
 // coalescing provenance). Backend 429 backpressure, Retry-After included,
 // passes through here unchanged.
 func (rt *Router) relay(w http.ResponseWriter, r *http.Request, res *upstream, cache string) {
-	for _, h := range []string{"Content-Type", "X-Cache", "X-Spec-Key", "Retry-After"} {
+	for _, h := range &relayHeaders {
 		if v := res.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

@@ -121,9 +121,19 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 				sub.err = err
 				return
 			}
+			req, err := http.NewRequest(http.MethodPost,
+				rt.cfg.Backends[sub.backend]+"/v1/sweep", bytes.NewReader(body))
+			if err != nil {
+				sub.err = err
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			// Sub-sweep lines are re-parsed into plan order here, so the
+			// stream must arrive identity-encoded; explicit Accept-Encoding
+			// also keeps the transport's transparent gzip out of the path.
+			req.Header.Set("Accept-Encoding", acceptIdentity)
 			rt.perBack[sub.backend].Add(1)
-			sub.resp, sub.err = rt.client.Post(
-				rt.cfg.Backends[sub.backend]+"/v1/sweep", "application/json", bytes.NewReader(body))
+			sub.resp, sub.err = rt.client.Do(req)
 			if sub.err != nil {
 				rt.met.upstreamEr.Add(1)
 			}
@@ -159,6 +169,9 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriterSize(w, 32<<10)
 	push := func() {
+		if bw.Buffered() == 0 {
+			return // nothing new for the client; an empty flush still costs a write
+		}
 		bw.Flush()
 		if flusher != nil {
 			flusher.Flush()
@@ -179,7 +192,9 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		bw.Write(sl.data)
 	}
-	push()
+	// Drain the bufio layer only: the handler returns next, and net/http
+	// emits the buffered tail and the terminal chunk in one write.
+	bw.Flush()
 	rt.drainSubs(subs)
 }
 
@@ -208,8 +223,10 @@ func (rt *Router) readSubSweep(sub *subSweep, keys []string, slots []lineSlot) {
 		fail(fmt.Sprintf("backend %s answered %d", base, sub.resp.StatusCode))
 		return
 	}
+	bp := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(bp)
 	sc := bufio.NewScanner(sub.resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	sc.Buffer((*bp)[:0], 16<<20)
 	for next < len(sub.idx) && sc.Scan() {
 		line := sc.Bytes()
 		data := make([]byte, len(line)+1)
@@ -226,6 +243,13 @@ func (rt *Router) readSubSweep(sub *subSweep, keys []string, slots []lineSlot) {
 		fail(msg)
 	}
 }
+
+// scanBufPool recycles the sub-sweep scanners' initial line buffers. Every
+// line is copied out into its slot before the scanner advances, so the
+// buffer is dead — and safe to reuse — the moment readSubSweep returns.
+// A line that outgrows 64KB makes the scanner allocate privately; the
+// pooled buffer stays its original size.
+var scanBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
 
 // drainSubs closes any sub-sweep bodies that still have a reader attached;
 // readers own the Close on the happy path, but an aborted relay must not

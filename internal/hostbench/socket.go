@@ -1,0 +1,201 @@
+package hostbench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsm/internal/serve"
+)
+
+// SocketPoint is one measurement on the real-socket curve: the throughput a
+// loopback-TCP client sees against a dsmserve-shaped server — the same
+// serving stack as the in-process scaling ladder, plus the kernel, the HTTP
+// client, and the wire. The gap between a SocketPoint and the matching
+// in-process ScalingPoint is the socket tax this repo's serving-path work
+// keeps shrinking.
+//
+// Conditions mirror dsmload's benchmark of record (BENCH_PR5.json): 32
+// closed-loop clients, dup 0.9 over the 16-spec working set, and for the
+// sweep mode 8-point plans to /v1/sweep. ConnsNew/ConnsReused come from
+// httptrace on every request, so a throughput regression is attributable to
+// connection churn vs server time.
+type SocketPoint struct {
+	Mode        string  `json:"mode"` // "sim" (POST /v1/sim) or "sweep" (batched /v1/sweep)
+	Clients     int     `json:"clients"`
+	Batch       int     `json:"batch,omitempty"`
+	Dup         float64 `json:"dup"`
+	PtsPerSec   float64 `json:"pts_per_sec"`
+	P99US       uint64  `json:"p99_us"` // per-request (sim) or per-plan (sweep) client latency
+	HitRatio    float64 `json:"hit_ratio"`
+	ConnsNew    uint64  `json:"conns_new"`
+	ConnsReused uint64  `json:"conns_reused"`
+}
+
+// Socket-curve conditions of record, matching the dsmload invocations that
+// produced the PR 4/PR 5 baselines.
+const (
+	socketClients = 32
+	socketBatch   = 8
+	socketDup     = 0.9
+)
+
+// MeasureSocket measures the loopback-TCP serving path at roughly points
+// simulation points per cell: single-request /v1/sim, the 8-point /v1/sweep
+// plans of record, and 32-point plans showing how batching amortizes the
+// per-request socket tax. Each cell gets a fresh server (real listener,
+// fresh cache) with the working set warmed first, so the measured mix is
+// the steady dup-0.9 profile, not cold-start misses.
+func MeasureSocket(points int) []SocketPoint {
+	return []SocketPoint{
+		measureSocketCell("sim", 1, points),
+		measureSocketCell("sweep", socketBatch, points),
+		measureSocketCell("sweep", 4*socketBatch, points),
+	}
+}
+
+func measureSocketCell(mode string, batch, points int) SocketPoint {
+	return measureSocketCellN(socketClients, mode, batch, points)
+}
+
+func measureSocketCellN(clients int, mode string, batch, points int) SocketPoint {
+	s := serve.New(serve.Config{Workers: runtime.GOMAXPROCS(0), Queue: 2*clients + 16})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// One idle slot per client: closed-loop clients reuse their connection
+	// instead of fighting over DefaultTransport's two per-host idle slots.
+	transport := &http.Transport{
+		MaxIdleConns:        2 * clients,
+		MaxIdleConnsPerHost: clients,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+
+	var connsNew, connsReused atomic.Uint64
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				connsReused.Add(1)
+			} else {
+				connsNew.Add(1)
+			}
+		},
+	}
+	traceCtx := httptrace.WithClientTrace(context.Background(), trace)
+
+	url := srv.URL + "/v1/sim"
+	if mode == "sweep" {
+		url = srv.URL + "/v1/sweep"
+	}
+	post := func(body string) (status, hits, pts int) {
+		req, err := http.NewRequestWithContext(traceCtx, http.MethodPost, url, strings.NewReader(body))
+		if err != nil {
+			panic(fmt.Sprintf("hostbench: socket request: %v", err))
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			panic(fmt.Sprintf("hostbench: socket post: %v", err))
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		hits, _ = strconv.Atoi(resp.Header.Get("X-Sweep-Hits"))
+		pts, _ = strconv.Atoi(resp.Header.Get("X-Sweep-Points"))
+		if resp.Header.Get("X-Cache") == "hit" {
+			hits, pts = 1, 1
+		} else if mode == "sim" {
+			pts = 1
+		}
+		return resp.StatusCode, hits, pts
+	}
+
+	set := scalingWorkingSet()
+	for _, spec := range set { // warm: every working-set spec simulates once
+		resp, err := client.Post(srv.URL+"/v1/sim", "application/json", strings.NewReader(spec))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("hostbench: socket warmup: %v (%v)", err, resp))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	var seed, failed, hits, served atomic.Uint64
+	seed.Store(uint64(1)<<56 - 1) // Add(1) yields the cell's first fresh seed
+	var handout atomic.Int64
+	lat := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			draw := func() string {
+				if rng.Float64() < socketDup {
+					return set[rng.Intn(len(set))]
+				}
+				return fmt.Sprintf(`{"app":"counter","procs":8,"c":8,"rounds":3,"seed":%d}`, seed.Add(1))
+			}
+			lat[c] = make([]time.Duration, 0, points/(batch*clients)+1)
+			for handout.Add(int64(batch)) <= int64(points) {
+				body := draw()
+				if mode == "sweep" {
+					pts := make([]string, batch)
+					pts[0] = body
+					for i := 1; i < batch; i++ {
+						pts[i] = draw()
+					}
+					body = `{"points":[` + strings.Join(pts, ",") + `]}`
+				}
+				t0 := time.Now()
+				code, h, p := post(body)
+				lat[c] = append(lat[c], time.Since(t0))
+				if code != http.StatusOK {
+					failed.Add(uint64(batch))
+					continue
+				}
+				hits.Add(uint64(h))
+				served.Add(uint64(p))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		panic(fmt.Sprintf("hostbench: socket cell %s dropped %d of %d points", mode, n, points))
+	}
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pt := SocketPoint{
+		Mode:        mode,
+		Clients:     clients,
+		Dup:         socketDup,
+		PtsPerSec:   float64(served.Load()) / elapsed.Seconds(),
+		P99US:       uint64(all[len(all)*99/100].Microseconds()),
+		ConnsNew:    connsNew.Load(),
+		ConnsReused: connsReused.Load(),
+	}
+	if mode == "sweep" {
+		pt.Batch = batch
+	}
+	if n := served.Load(); n > 0 {
+		pt.HitRatio = float64(hits.Load()) / float64(n)
+	}
+	return pt
+}

@@ -1,0 +1,39 @@
+package hostbench
+
+import "testing"
+
+// TestMeasureSocketSmoke runs a tiny socket curve end to end: both modes
+// over a real loopback listener, sane rates and accounting. Point counts
+// are small; this checks plumbing, not performance.
+func TestMeasureSocketSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket measurement in -short mode")
+	}
+	pts := MeasureSocket(128)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want sim and two sweep batches", len(pts))
+	}
+	for _, p := range pts {
+		if p.Mode != "sim" && p.Mode != "sweep" {
+			t.Fatalf("unknown mode %q", p.Mode)
+		}
+		if p.PtsPerSec <= 0 {
+			t.Fatalf("%s: pts/s = %v", p.Mode, p.PtsPerSec)
+		}
+		if p.Clients != socketClients || p.Dup != socketDup {
+			t.Fatalf("%s: conditions drifted: %+v", p.Mode, p)
+		}
+		if p.ConnsNew == 0 {
+			t.Fatalf("%s: no connections dialed — not a socket path", p.Mode)
+		}
+		if p.ConnsReused == 0 {
+			t.Fatalf("%s: no connection reuse — idle pool misconfigured", p.Mode)
+		}
+		if p.HitRatio <= 0 || p.HitRatio > 1 {
+			t.Fatalf("%s: hit ratio %v outside (0,1]", p.Mode, p.HitRatio)
+		}
+	}
+	if pts[1].Batch != socketBatch || pts[2].Batch != 4*socketBatch {
+		t.Fatalf("sweep batches = %d, %d, want %d, %d", pts[1].Batch, pts[2].Batch, socketBatch, 4*socketBatch)
+	}
+}

@@ -34,18 +34,32 @@ type MCSLock struct {
 // NewMCSLock allocates the lock's tail under the given policy and one
 // qnode per processor, homed at that processor for local spinning.
 func NewMCSLock(m *machine.Machine, policy core.Policy, opts Options) *MCSLock {
-	l := &MCSLock{
-		Tail:   m.AllocSync(policy),
-		Opts:   opts,
-		next:   make([]arch.Addr, m.Procs()),
-		locked: make([]arch.Addr, m.Procs()),
-		serial: make([]arch.Word, m.Procs()),
+	l := &MCSLock{}
+	l.Init(m, policy, opts)
+	return l
+}
+
+// Init (re)initializes the lock in place, performing exactly the
+// allocation sequence NewMCSLock performs on a fresh lock. Reusing one
+// MCSLock value across runs on machines of the same processor count keeps
+// the per-run path free of heap allocation: the per-processor slices are
+// retained when their length already matches.
+func (l *MCSLock) Init(m *machine.Machine, policy core.Policy, opts Options) {
+	procs := m.Procs()
+	l.Tail = m.AllocSync(policy)
+	l.Opts = opts
+	l.BareSCRelease = false
+	if len(l.next) != procs {
+		l.next = make([]arch.Addr, procs)
+		l.locked = make([]arch.Addr, procs)
+		l.serial = make([]arch.Word, procs)
+	} else {
+		clear(l.serial)
 	}
-	for i := 0; i < m.Procs(); i++ {
+	for i := 0; i < procs; i++ {
 		l.next[i] = m.AllocSyncAt(mesh.NodeID(i), core.PolicyINV)
 		l.locked[i] = m.AllocSyncAt(mesh.NodeID(i), core.PolicyINV)
 	}
-	return l
 }
 
 // Acquire enqueues the processor and spins locally until it holds the lock.

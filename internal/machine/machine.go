@@ -35,6 +35,16 @@ type Machine struct {
 	barrier barrierState
 	running int // processors still executing the current program
 
+	// progScratch is Run's per-call program slice, retained so repeated
+	// runs on one machine do not allocate it.
+	progScratch []func(p *Proc)
+
+	// appScratch is an opaque slot the application layer uses to cache
+	// reusable per-machine structures (program runners, preallocated
+	// closures) across runs. Reset leaves it alone: it carries host-side
+	// scaffolding only, never simulated state.
+	appScratch any
+
 	// pooled marks a machine currently resident in a reuse pool, mirroring
 	// the freed flag on pooled protocol messages: releasing an
 	// already-released machine would let two callers share one machine and
@@ -58,6 +68,13 @@ type barrierState struct {
 	waiting []*Proc
 	spare   []*Proc
 	arrived int
+
+	// releasing is the slice a pending release event will drain, and
+	// releaseFn the preallocated event body that drains it — at most one
+	// release is ever pending (see releaseBarrier), so a single pair
+	// suffices and no closure is allocated per barrier round.
+	releasing []*Proc
+	releaseFn func()
 }
 
 // Shared-memory allocation starts above a reserved low page, and the
@@ -83,6 +100,11 @@ func New(cfg core.Config) *Machine {
 	}
 	m.barrier.waiting = make([]*Proc, 0, cfg.Nodes)
 	m.barrier.spare = make([]*Proc, 0, cfg.Nodes)
+	m.barrier.releaseFn = func() {
+		for _, w := range m.barrier.releasing {
+			w.step(core.Result{})
+		}
+	}
 	ps := make([]Proc, cfg.Nodes)
 	m.procs = make([]*Proc, cfg.Nodes)
 	for i := range m.procs {
@@ -254,12 +276,23 @@ func (m *Machine) Peek(a arch.Addr) arch.Word {
 // returns the elapsed simulated time from start to the completion of the
 // last processor. It may be called repeatedly; time accumulates.
 func (m *Machine) Run(program func(p *Proc)) sim.Time {
-	progs := make([]func(p *Proc), m.Procs())
+	if m.progScratch == nil {
+		m.progScratch = make([]func(p *Proc), m.Procs())
+	}
+	progs := m.progScratch
 	for i := range progs {
 		progs[i] = program
 	}
 	return m.RunEach(progs)
 }
+
+// AppScratch returns the value stored by SetAppScratch, or nil. The slot
+// lets application packages keep reusable run scaffolding resident on the
+// machine (surviving Reset) without the machine knowing its type.
+func (m *Machine) AppScratch() any { return m.appScratch }
+
+// SetAppScratch stores an application-layer cache on the machine.
+func (m *Machine) SetAppScratch(v any) { m.appScratch = v }
 
 // RunEach executes programs[i] on processor i (nil entries idle). It
 // returns the elapsed simulated time.
@@ -316,18 +349,15 @@ func (m *Machine) arriveBarrier(p *Proc) {
 // releaseBarrier resumes every waiter one cycle from now. The drained slice
 // goes back to the ping-pong pair once the release has fired; at most one
 // release is ever pending (waiters cannot re-arrive before they resume), so
-// the swap never hands out storage a pending release still holds.
+// the swap never hands out storage a pending release still holds and the
+// single releasing/releaseFn pair carries every round.
 func (m *Machine) releaseBarrier() {
 	b := &m.barrier
-	waiters := b.waiting
+	b.releasing = b.waiting
 	b.waiting = b.spare[:0]
-	b.spare = waiters
+	b.spare = b.releasing
 	b.arrived = 0
-	m.eng.After(1, func() {
-		for _, w := range waiters {
-			w.step(core.Result{})
-		}
-	})
+	m.eng.After(1, b.releaseFn)
 }
 
 // procDone records a processor finishing its program.

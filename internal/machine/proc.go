@@ -50,6 +50,12 @@ type Proc struct {
 	done     func(core.Result)
 	resumeFn func()
 
+	// prog is the program the current (or next) goroutine runs, and runFn
+	// the preallocated `func() { p.run() }` bound-method value begin
+	// spawns: `go p.run()` would allocate that binding per launch.
+	prog  func(*Proc)
+	runFn func()
+
 	lastSerial arch.Word // serial returned by the most recent load_linked
 	stats      ProcStats
 }
@@ -61,6 +67,7 @@ func (p *Proc) init(m *Machine, n mesh.NodeID) {
 	p.action = make(chan action)
 	p.done = func(res core.Result) { p.step(res) }
 	p.resumeFn = func() { p.step(core.Result{}) }
+	p.runFn = p.run
 }
 
 // begin prepares the processor for a program and starts its goroutine. The
@@ -72,11 +79,19 @@ func (p *Proc) begin(prog func(*Proc), seed uint64) {
 	base.Seed(seed)
 	base.ForkInto(&p.rng, uint64(p.node))
 	p.lastSerial = 0
-	go func() {
-		<-p.resume
-		prog(p)
-		p.action <- action{kind: actDone}
-	}()
+	// Writing prog here is ordered before the new goroutine's read; the
+	// previous goroutine read it once at startup and has since signalled
+	// actDone, so no concurrent reader remains.
+	p.prog = prog
+	go p.runFn()
+}
+
+// run is the processor goroutine's body. It waits for the engine's first
+// resume before touching anything.
+func (p *Proc) run() {
+	<-p.resume
+	p.prog(p)
+	p.action <- action{kind: actDone}
 }
 
 // step transfers control to the processor goroutine, waits for its next

@@ -62,13 +62,16 @@ func (m *Module) Stats() Stats { return m.stats }
 func (m *Module) ResetStats() { m.stats = Stats{} }
 
 // Reset returns the module to its post-Init state: bank idle, counters
-// cleared, storage empty (blocks again read as zero on first touch). The
-// map's buckets are retained, so refilling after a reset allocates only the
-// block payloads.
+// cleared, storage reading as zero everywhere. Block payloads are zeroed in
+// place rather than dropped: a reused machine touches the same blocks every
+// run, and a zeroed block is indistinguishable from an absent one, so
+// refilling after a reset allocates nothing in the steady state.
 func (m *Module) Reset() {
 	m.busy = 0
 	m.stats = Stats{}
-	clear(m.data)
+	for _, b := range m.data {
+		*b = arch.BlockData{}
+	}
 }
 
 // Access enqueues one memory access and schedules done when its data is

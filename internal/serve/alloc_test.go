@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// nopResponseWriter is a reusable ResponseWriter: a plain header map and
+// byte counter, so AllocsPerRun sees only the handler's own allocations,
+// not the recorder's.
+type nopResponseWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(b []byte) (int, error) { w.n += len(b); return len(b), nil }
+func (w *nopResponseWriter) WriteHeader(code int)        { w.status = code }
+
+func (w *nopResponseWriter) reset() {
+	clear(w.h)
+	w.status = 0
+	w.n = 0
+}
+
+// TestHitPathZeroAlloc pins the GET cache-hit path — route, parse, key,
+// lookup, headers, body write — at zero allocations per request. This is
+// the property the zero-copy serving work exists for: a hot key must cost
+// a hash and a map probe, never a byte of garbage. The pin covers the
+// identity and the gzip-negotiated variants, and the probe hit.
+func TestHitPathZeroAlloc(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	h := s.Handler()
+	const path = "/v1/sim?app=counter&procs=4&rounds=2"
+	if w := doGet(s, path); w.Code != http.StatusOK { // prime the cache
+		t.Fatalf("prime = %d: %s", w.Code, w.Body)
+	}
+
+	cases := []struct {
+		name   string
+		req    *http.Request
+		status int
+	}{
+		{"get-identity", httptest.NewRequest(http.MethodGet, path, nil), 0},
+		{"probe-hit", httptest.NewRequest(http.MethodHead, path, nil), http.StatusOK},
+	}
+	gz := httptest.NewRequest(http.MethodGet, path, nil)
+	gz.Header.Set("Accept-Encoding", "gzip")
+	cases = append(cases, cases[0])
+	cases[len(cases)-1].name, cases[len(cases)-1].req = "get-gzip", gz
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := &nopResponseWriter{h: make(http.Header)}
+			run := func() {
+				w.reset()
+				h.ServeHTTP(w, tc.req)
+			}
+			run() // warm the header map's buckets
+			if tc.status != 0 && w.status != tc.status {
+				t.Fatalf("status = %d, want %d", w.status, tc.status)
+			}
+			if tc.req.Method == http.MethodGet && w.n == 0 {
+				t.Fatal("hit wrote no body")
+			}
+			if n := testing.AllocsPerRun(50, run); n != 0 {
+				t.Fatalf("cache-hit request allocates %.1f times, want 0", n)
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bytes"
+	"compress/gzip"
 	"container/list"
 	"runtime"
 	"sync"
@@ -37,9 +39,64 @@ type cacheShard struct {
 	_         [24]byte // keep neighboring shards' hot fields off one cache line
 }
 
+// cacheEntry is one immutable cached result. Everything a hit response
+// needs is precomputed at insertion — the gzip variant and the
+// single-element header slice for X-Spec-Key — so serving a hit performs
+// no per-request work beyond map lookup and writes. Entries are never
+// mutated after publication: re-inserting a key replaces the element's
+// entry wholesale, so a reader holding the old pointer keeps a consistent
+// (data, gz) pair.
 type cacheEntry struct {
-	key  string
-	data []byte
+	key    string
+	data   []byte   // canonical encoded outcome (identity encoding)
+	gz     []byte   // gzip variant; nil when too small or incompressible
+	keyHdr []string // {key}, preallocated for direct header-map assignment
+}
+
+// newCacheEntry builds a complete entry, compressing outside any shard
+// lock (gzip costs ~10µs/KB — far too much to hold a cache shard for).
+func newCacheEntry(key string, data []byte) *cacheEntry {
+	return &cacheEntry{key: key, data: data, gz: gzipVariant(data), keyHdr: []string{key}}
+}
+
+// minGzipSize is the smallest body worth compressing: below it the gzip
+// header/trailer overhead and the client's inflate outweigh the bytes
+// saved on a loopback or datacenter link.
+const minGzipSize = 512
+
+// gzipWriterPool recycles gzip compressors across cache insertions (each
+// carries ~256KB of LZ77 window and Huffman state).
+var gzipWriterPool = sync.Pool{New: func() any {
+	w, _ := gzip.NewWriterLevel(nil, gzip.BestSpeed)
+	return w
+}}
+
+// gzipVariant returns the gzip encoding of data, or nil when compression
+// is not worthwhile (tiny body, or output not actually smaller). BestSpeed
+// is deliberate: outcome JSON is highly repetitive (long runs of numeric
+// report fields), so even the cheapest setting halves it, and the variant
+// is computed once per distinct result, then served arbitrarily many times.
+func gzipVariant(data []byte) []byte {
+	if len(data) < minGzipSize {
+		return nil
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(data) / 2)
+	zw := gzipWriterPool.Get().(*gzip.Writer)
+	zw.Reset(&buf)
+	if _, err := zw.Write(data); err != nil {
+		gzipWriterPool.Put(zw)
+		return nil
+	}
+	if err := zw.Close(); err != nil {
+		gzipWriterPool.Put(zw)
+		return nil
+	}
+	gzipWriterPool.Put(zw)
+	if buf.Len() >= len(data) {
+		return nil
+	}
+	return bytes.Clone(buf.Bytes())
 }
 
 // minShardEntries is the smallest per-shard budget worth sharding for:
@@ -71,6 +128,16 @@ func shardCount(max int) int {
 // SHA-256 output is uniform, so low bits of the first byte spread keys
 // evenly for any power-of-two shard count up to maxShards.
 func shardIndex(key string, mask uint32) uint32 {
+	if mask == 0 || len(key) < 2 {
+		return 0
+	}
+	return uint32(hexNibble(key[0])<<4|hexNibble(key[1])) & mask
+}
+
+// shardIndexBytes is shardIndex for a key still held as bytes (the request
+// path renders keys into a stack buffer and avoids materializing a string
+// until a cache miss makes one necessary).
+func shardIndexBytes(key []byte, mask uint32) uint32 {
 	if mask == 0 || len(key) < 2 {
 		return 0
 	}
@@ -115,9 +182,9 @@ func newResultCacheShards(max, shards int) *resultCache {
 	return c
 }
 
-// get returns the cached bytes for key, refreshing its recency within its
-// shard.
-func (c *resultCache) get(key string) ([]byte, bool) {
+// get returns the cached entry for key, refreshing its recency within its
+// shard. The entry is immutable; callers may hold it past the lock.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
 	s := &c.shards[shardIndex(key, c.mask)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -126,19 +193,38 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	s.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).data, true
+	return el.Value.(*cacheEntry), true
+}
+
+// getBytes is get for a key still rendered as bytes. The map index
+// compiles to a no-copy lookup (the string(key) conversion in index
+// position does not allocate), so the request hot path can probe the
+// cache straight from its stack key buffer.
+func (c *resultCache) getBytes(key []byte) (*cacheEntry, bool) {
+	s := &c.shards[shardIndexBytes(key, c.mask)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[string(key)]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
 }
 
 // put inserts key -> data, evicting the least recently used entry of the
 // key's shard when that shard is at capacity. Re-inserting an existing key
-// refreshes its data and recency.
+// refreshes its recency and replaces its entry wholesale — concurrent
+// readers holding the superseded entry still see a consistent immutable
+// (data, gz) pair. The gzip variant is computed before the lock is taken.
 func (c *resultCache) put(key string, data []byte) {
+	e := newCacheEntry(key, data)
 	s := &c.shards[shardIndex(key, c.mask)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
 		s.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).data = data
+		el.Value = e
 		return
 	}
 	if s.ll.Len() >= s.max {
@@ -147,7 +233,7 @@ func (c *resultCache) put(key string, data []byte) {
 		delete(s.items, oldest.Value.(*cacheEntry).key)
 		s.evictions++
 	}
-	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, data: data})
+	s.items[key] = s.ll.PushFront(e)
 }
 
 // stats returns the entry and lifetime eviction counts summed across

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func gunzip(t *testing.T, b []byte) []byte {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("gzip header: %v", err)
+	}
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	return out
+}
+
+// TestGzipVariantDecompressedIdentity is the compression contract: a
+// cache-hit response negotiated to gzip must inflate to exactly the bytes
+// an identity response carries — same simulation, same encoding, different
+// wire representation only.
+func TestGzipVariantDecompressedIdentity(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	if w := doJSON(s, quickSpec); w.Code != http.StatusOK { // prime the cache
+		t.Fatalf("prime = %d: %s", w.Code, w.Body)
+	}
+	plain := doJSON(s, quickSpec)
+	if plain.Code != http.StatusOK || plain.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("plain hit = %d X-Cache=%q", plain.Code, plain.Header().Get("X-Cache"))
+	}
+	if enc := plain.Header().Get("Content-Encoding"); enc != "" {
+		t.Fatalf("identity response carries Content-Encoding %q", enc)
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/sim", strings.NewReader(quickSpec))
+	req.Header.Set("Accept-Encoding", "gzip, deflate")
+	zw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(zw, req)
+	if zw.Code != http.StatusOK || zw.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("gzip hit = %d X-Cache=%q: %s", zw.Code, zw.Header().Get("X-Cache"), zw.Body)
+	}
+	if enc := zw.Header().Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+	if vary := zw.Header().Get("Vary"); vary != "Accept-Encoding" {
+		t.Fatalf("Vary = %q, want Accept-Encoding", vary)
+	}
+	if zw.Body.Len() >= plain.Body.Len() {
+		t.Fatalf("gzip body (%d bytes) not smaller than identity (%d bytes)", zw.Body.Len(), plain.Body.Len())
+	}
+	if got := gunzip(t, zw.Body.Bytes()); !bytes.Equal(got, plain.Body.Bytes()) {
+		t.Fatal("gzip variant does not inflate to the identity bytes")
+	}
+}
+
+// TestGzipVariantBuiltAtFillTime checks that /v1/fill stores a compressed
+// variant alongside the filled bytes, so relocated results serve gzip hits
+// exactly like locally computed ones.
+func TestGzipVariantBuiltAtFillTime(t *testing.T) {
+	src := newTestServer(t, Config{Workers: 1})
+	dst := newTestServer(t, Config{Workers: 1})
+	orig := doJSON(src, quickSpec)
+	if orig.Code != http.StatusOK {
+		t.Fatalf("sim = %d", orig.Code)
+	}
+	if w := doProbe(dst, http.MethodPost, "/v1/fill", orig.Body.String()); w.Code != http.StatusNoContent {
+		t.Fatalf("fill = %d: %s", w.Code, w.Body)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/sim", strings.NewReader(quickSpec))
+	req.Header.Set("Accept-Encoding", "gzip")
+	w := httptest.NewRecorder()
+	dst.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK || w.Header().Get("Content-Encoding") != "gzip" {
+		t.Fatalf("filled gzip hit = %d enc=%q", w.Code, w.Header().Get("Content-Encoding"))
+	}
+	if got := gunzip(t, w.Body.Bytes()); !bytes.Equal(got, orig.Body.Bytes()) {
+		t.Fatal("filled gzip variant does not inflate to the source bytes")
+	}
+	if m := dst.Metrics(); m.Runs != 0 {
+		t.Fatalf("fill-then-hit ran %d simulations", m.Runs)
+	}
+}
+
+// TestSweepStreamsIdentityEncoding pins the batch endpoint to identity
+// bodies regardless of Accept-Encoding: NDJSON lines interleave results as
+// they finish, which cannot be represented as one gzip stream per line.
+func TestSweepStreamsIdentityEncoding(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	plan := `{"points":[` + quickSpec + `]}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(plan))
+	req.Header.Set("Accept-Encoding", "gzip")
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep = %d: %s", w.Code, w.Body)
+	}
+	if enc := w.Header().Get("Content-Encoding"); enc != "" {
+		t.Fatalf("sweep Content-Encoding = %q, want identity", enc)
+	}
+	single := doJSON(s, quickSpec)
+	if !bytes.Equal(w.Body.Bytes(), single.Body.Bytes()) {
+		t.Fatal("sweep line differs from the /v1/sim body for the same spec")
+	}
+}
+
+func TestAcceptsGzip(t *testing.T) {
+	cases := []struct {
+		hdr  string
+		want bool
+	}{
+		{"", false},
+		{"gzip", true},
+		{"gzip, deflate", true},
+		{"deflate, gzip", true},
+		{"deflate, gzip;q=1.0", true},
+		{"gzip;q=0", false},
+		{"gzip;q=0.0", false},
+		{"gzip;q=0.5", true},
+		{"br", false},
+		{"notgzip", false},
+		{" gzip ", true},
+	}
+	for _, tc := range cases {
+		r := httptest.NewRequest(http.MethodGet, "/v1/sim", nil)
+		if tc.hdr != "" {
+			r.Header.Set("Accept-Encoding", tc.hdr)
+		}
+		if got := AcceptsGzip(r); got != tc.want {
+			t.Errorf("AcceptsGzip(%q) = %v, want %v", tc.hdr, got, tc.want)
+		}
+	}
+}

@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -116,7 +120,12 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key := spec.Key()
+	// The key lives in a stack buffer until a miss forces a string: the
+	// hit path (cache probe, entry lookup, response headers) never needs
+	// one — getBytes indexes the shard map straight from these bytes and
+	// the entry carries its own key string for the X-Spec-Key header.
+	var kb [64]byte
+	key := spec.appendKey(kb[:0])
 
 	// Probe mode (HEAD, or ?probe=1 on GET/POST): answer from the result
 	// cache only, never simulating and never touching the queue. A hit is
@@ -124,12 +133,13 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	// X-Cache: miss. This is the cheap cache-visibility path the fleet
 	// router uses to ask "do you have this?" before paying for a
 	// simulation — a probe miss must stay O(cache lookup).
-	if r.Method == http.MethodHead || r.URL.Query().Get("probe") == "1" {
+	if probe, _ := rawQueryGet(r.URL.RawQuery, "probe"); r.Method == http.MethodHead || probe == "1" {
 		s.met.probes.Add(1)
-		data, ok := s.cache.get(key)
+		e, ok := s.cache.getBytes(key)
 		if !ok {
-			w.Header().Set("X-Cache", "miss")
-			w.Header().Set("X-Spec-Key", key)
+			h := w.Header()
+			h["X-Cache"] = hdrMiss
+			h["X-Spec-Key"] = []string{string(key)}
 			if r.Method == http.MethodHead {
 				w.WriteHeader(http.StatusNotFound)
 				return
@@ -138,23 +148,27 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.met.probeHits.Add(1)
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "hit")
-		w.Header().Set("X-Spec-Key", key)
-		if r.Method == http.MethodHead {
-			w.WriteHeader(http.StatusOK)
-			return
-		}
-		w.Write(data)
+		s.writeEntry(w, r, e, hdrHit)
 		return
 	}
 	s.met.requests.Add(1)
 
-	data, call, state := s.start(spec, key, 0)
-	switch state {
-	case dispatchHit:
+	// Fast path: a cache hit writes the entry's stored bytes straight to
+	// the response — no key string, no header formatting, no copies.
+	if e, ok := s.cache.getBytes(key); ok {
 		s.met.hits.Add(1)
-		s.writeOutcome(w, data, "hit", key, start)
+		s.writeEntry(w, r, e, hdrHit)
+		s.met.latency.observe(time.Since(start))
+		return
+	}
+
+	keyStr := string(key)
+	e, call, state := s.start(spec, keyStr, 0)
+	switch state {
+	case dispatchHit: // filled between the fast-path lookup and dispatch
+		s.met.hits.Add(1)
+		s.writeEntry(w, r, e, hdrHit)
+		s.met.latency.observe(time.Since(start))
 		return
 	case dispatchMiss:
 		s.met.misses.Add(1)
@@ -189,7 +203,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		if state == dispatchCoalesced {
 			label = "coalesced"
 		}
-		s.writeOutcome(w, call.data, label, key, start)
+		s.writeOutcome(w, call.data, label, keyStr, start)
 	}
 }
 
@@ -205,7 +219,7 @@ const (
 )
 
 // start resolves one canonical spec without blocking on the simulation:
-// a cache hit returns the encoded bytes directly; otherwise the caller
+// a cache hit returns the stored entry directly; otherwise the caller
 // gets the single-flight call to wait on. On a miss this caller's spec is
 // submitted to the worker pool, waiting up to queueWait for space (a still
 // full queue fails the call with errBusy, releasing any followers that
@@ -213,9 +227,9 @@ const (
 // Both the single-sim and the batch sweep handlers dispatch through here,
 // so they share one cache and one in-flight set — a sweep point coalesces
 // with a concurrent /v1/sim request for the same spec and vice versa.
-func (s *Server) start(spec Spec, key string, queueWait time.Duration) ([]byte, *flightCall, dispatchState) {
-	if data, ok := s.cache.get(key); ok {
-		return data, nil, dispatchHit
+func (s *Server) start(spec Spec, key string, queueWait time.Duration) (*cacheEntry, *flightCall, dispatchState) {
+	if e, ok := s.cache.get(key); ok {
+		return e, nil, dispatchHit
 	}
 	call, leader := s.flight.join(key)
 	if !leader {
@@ -318,6 +332,91 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // ------------------------------------------------------------ encoding --
 
+// Static header value slices, assigned directly into response header maps.
+// Header().Set allocates a fresh []string per call; these are built once
+// and shared across all responses — safe because nothing ever mutates a
+// header value slice, only the maps that point at them.
+var (
+	hdrJSON           = []string{"application/json"}
+	hdrNDJSON         = []string{"application/x-ndjson"}
+	hdrHit            = []string{"hit"}
+	hdrMiss           = []string{"miss"}
+	hdrGzip           = []string{"gzip"}
+	hdrAcceptEncoding = []string{"Accept-Encoding"}
+)
+
+// writeEntry answers a request from a cached entry: the precompressed gzip
+// variant when the client accepts gzip and one exists, the identity bytes
+// otherwise. Every header value is a preassembled slice (the key header
+// lives on the entry) and the body is the cache's own storage handed to
+// the ResponseWriter — the serve layer neither formats nor copies a byte,
+// which is what pins the hit path at zero allocations.
+func (s *Server) writeEntry(w http.ResponseWriter, r *http.Request, e *cacheEntry, cache []string) {
+	h := w.Header()
+	h["Content-Type"] = hdrJSON
+	h["X-Cache"] = cache
+	h["X-Spec-Key"] = e.keyHdr
+	body := e.data
+	if e.gz != nil {
+		// The representation varies with the request even when only one
+		// is ever sent, so caches must key on Accept-Encoding.
+		h["Vary"] = hdrAcceptEncoding
+		if AcceptsGzip(r) {
+			h["Content-Encoding"] = hdrGzip
+			body = e.gz
+		}
+	}
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	w.Write(body)
+}
+
+// AcceptsGzip reports whether the request advertises gzip support: a token
+// scan over Accept-Encoding values rather than a full quality-value parse.
+// "gzip" as a listed coding counts unless it carries an explicit zero
+// quality ("gzip;q=0", "gzip;q=0.0"), which covers every encoding real
+// clients send without allocating. Exported so the fleet router negotiates
+// content codings exactly the way the backends it fronts do.
+func AcceptsGzip(r *http.Request) bool {
+	for _, v := range r.Header["Accept-Encoding"] {
+		for len(v) > 0 {
+			var item string
+			if i := strings.IndexByte(v, ','); i >= 0 {
+				item, v = v[:i], v[i+1:]
+			} else {
+				item, v = v, ""
+			}
+			name, params, _ := strings.Cut(item, ";")
+			if strings.TrimSpace(name) != "gzip" {
+				continue
+			}
+			return !zeroQ(params)
+		}
+	}
+	return false
+}
+
+// zeroQ reports whether an Accept-Encoding parameter string sets an
+// explicit zero quality (q=0, q=0.0, ...), the RFC 9110 way to refuse a
+// coding by name.
+func zeroQ(params string) bool {
+	p := strings.TrimSpace(params)
+	if !strings.HasPrefix(p, "q=0") {
+		return false
+	}
+	for _, c := range p[len("q=0"):] {
+		if c >= '1' && c <= '9' {
+			return false
+		}
+		if c != '.' && c != '0' {
+			break
+		}
+	}
+	return true
+}
+
 func (s *Server) writeOutcome(w http.ResponseWriter, data []byte, cache, key string, start time.Time) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cache)
@@ -338,55 +437,159 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 // router parses requests exactly the way the backends it fronts do; the
 // result still needs Normalize before Key or Point.
 func ParseSpecRequest(r *http.Request) (Spec, error) {
-	var sp Spec
 	if r.Method == http.MethodPost {
-		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&sp); err != nil {
-			return sp, fmt.Errorf("bad spec JSON: %w", err)
-		}
-		return sp, nil
+		return parseSpecBody(r)
 	}
-	q := r.URL.Query()
-	sp.App = q.Get("app")
-	sp.Policy = q.Get("policy")
-	sp.Prim = q.Get("prim")
-	sp.Variant = q.Get("cas")
+	var sp Spec
+	// The query is scanned in place (rawQueryGet) rather than parsed into
+	// url.Values: building the Values map costs several allocations per
+	// request, which would dominate a cache-hit GET. Values are substrings
+	// of RawQuery unless a pair actually carries %-escapes. The field
+	// helpers are top-level functions, not closures — calls through a
+	// func-typed variable make escape analysis treat &sp.Field as escaping,
+	// which would heap-allocate the spec on every GET.
+	raw := r.URL.RawQuery
+	sp.App, _ = rawQueryGet(raw, "app")
+	sp.Policy, _ = rawQueryGet(raw, "policy")
+	sp.Prim, _ = rawQueryGet(raw, "prim")
+	sp.Variant, _ = rawQueryGet(raw, "cas")
 	var err error
-	parseInt := func(name string, dst *int) {
-		if err != nil || !q.Has(name) {
-			return
-		}
-		var v int64
-		if v, err = strconv.ParseInt(q.Get(name), 10, 0); err != nil {
-			err = fmt.Errorf("bad %s %q", name, q.Get(name))
-			return
-		}
-		*dst = int(v)
-	}
-	parseBool := func(name string, dst *bool) {
-		if err != nil || !q.Has(name) {
-			return
-		}
-		if *dst, err = strconv.ParseBool(q.Get(name)); err != nil {
-			err = fmt.Errorf("bad %s %q", name, q.Get(name))
+	queryInt(raw, "procs", &sp.Procs, &err)
+	queryInt(raw, "c", &sp.Contention, &err)
+	queryInt(raw, "rounds", &sp.Rounds, &err)
+	queryInt(raw, "size", &sp.Size, &err)
+	queryBool(raw, "ldex", &sp.LoadEx, &err)
+	queryBool(raw, "drop", &sp.Drop, &err)
+	if v, ok := rawQueryGet(raw, "a"); err == nil && ok {
+		if sp.WriteRun, err = strconv.ParseFloat(v, 64); err != nil {
+			err = fmt.Errorf("bad a %q", v)
 		}
 	}
-	parseInt("procs", &sp.Procs)
-	parseInt("c", &sp.Contention)
-	parseInt("rounds", &sp.Rounds)
-	parseInt("size", &sp.Size)
-	parseBool("ldex", &sp.LoadEx)
-	parseBool("drop", &sp.Drop)
-	if err == nil && q.Has("a") {
-		if sp.WriteRun, err = strconv.ParseFloat(q.Get("a"), 64); err != nil {
-			err = fmt.Errorf("bad a %q", q.Get("a"))
-		}
-	}
-	if err == nil && q.Has("seed") {
-		if sp.Seed, err = strconv.ParseUint(q.Get("seed"), 10, 64); err != nil {
-			err = fmt.Errorf("bad seed %q", q.Get("seed"))
+	if v, ok := rawQueryGet(raw, "seed"); err == nil && ok {
+		if sp.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			err = fmt.Errorf("bad seed %q", v)
 		}
 	}
 	return sp, err
+}
+
+// specParseBufPool recycles POST body read buffers: a spec encodes to well
+// under 200 bytes, so one small pooled buffer per concurrent request
+// replaces the decoder's per-request stream buffering. Buffers grown past
+// the put-back bound (a near-limit body) are dropped to the GC rather than
+// pinned in the pool.
+var specParseBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+const specParseBufMax = 16 << 10
+
+// parseSpecBody decodes the POST form of a spec through a pooled read
+// buffer. It lives apart from the GET path because Decode(&sp) makes the
+// spec escape, and escape analysis is flow-insensitive — one function
+// handling both methods would heap-allocate the spec on every GET too.
+func parseSpecBody(r *http.Request) (Spec, error) {
+	var sp Spec
+	bp := specParseBufPool.Get().(*[]byte)
+	defer func() {
+		if cap(*bp) <= specParseBufMax {
+			specParseBufPool.Put(bp)
+		}
+	}()
+	body, err := appendReadAll((*bp)[:0], http.MaxBytesReader(nil, r.Body, 1<<16))
+	*bp = body[:0]
+	if err != nil {
+		return sp, fmt.Errorf("bad spec JSON: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return sp, fmt.Errorf("bad spec JSON: %w", err)
+	}
+	return sp, nil
+}
+
+// appendReadAll is io.ReadAll into a caller-provided buffer: identical
+// semantics, but the buffer comes back to the caller instead of being
+// freshly allocated per call.
+func appendReadAll(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// queryInt parses an optional integer query parameter into dst, recording
+// the first failure in *err and leaving dst untouched after one.
+func queryInt(raw, name string, dst *int, err *error) {
+	v, ok := rawQueryGet(raw, name)
+	if *err != nil || !ok {
+		return
+	}
+	n, e := strconv.ParseInt(v, 10, 0)
+	if e != nil {
+		*err = fmt.Errorf("bad %s %q", name, v)
+		return
+	}
+	*dst = int(n)
+}
+
+// queryBool is queryInt for boolean parameters.
+func queryBool(raw, name string, dst *bool, err *error) {
+	v, ok := rawQueryGet(raw, name)
+	if *err != nil || !ok {
+		return
+	}
+	b, e := strconv.ParseBool(v)
+	if e != nil {
+		*err = fmt.Errorf("bad %s %q", name, v)
+		return
+	}
+	*dst = b
+}
+
+// rawQueryGet returns the first value of name in a raw query string,
+// decoding percent/plus escapes only when a pair actually contains them —
+// the API's enum and numeric values never do, so the common path returns a
+// substring of raw and allocates nothing. Malformed pairs (bad escapes,
+// semicolon separators) are skipped, matching url.ParseQuery, which drops
+// the pairs it cannot decode while keeping the rest.
+func rawQueryGet(raw, name string) (string, bool) {
+	for len(raw) > 0 {
+		var pair string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			pair, raw = raw, ""
+		}
+		if strings.IndexByte(pair, ';') >= 0 {
+			continue
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		if k != name {
+			if !strings.ContainsAny(k, "%+") {
+				continue
+			}
+			dk, err := url.QueryUnescape(k)
+			if err != nil || dk != name {
+				continue
+			}
+		}
+		if strings.ContainsAny(v, "%+") {
+			dv, err := url.QueryUnescape(v)
+			if err != nil {
+				continue
+			}
+			return dv, true
+		}
+		return v, true
+	}
+	return "", false
 }

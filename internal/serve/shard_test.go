@@ -80,7 +80,7 @@ func TestShardedCacheConcurrentStress(t *testing.T) {
 				c.put(k, []byte(k))
 				// Mix in reads of this worker's earlier keys: hits must
 				// return exactly the bytes stored under that key.
-				if data, ok := c.get(hexKey(w*perW + i/2)); ok && string(data) != hexKey(w*perW+i/2) {
+				if e, ok := c.get(hexKey(w*perW + i/2)); ok && string(e.data) != hexKey(w*perW+i/2) {
 					t.Errorf("get returned bytes for the wrong key")
 					return
 				}

@@ -19,8 +19,8 @@ package serve
 
 import (
 	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
+	"strconv"
 
 	"dsm/internal/core"
 	"dsm/internal/exper"
@@ -173,13 +173,62 @@ func mustParse[T ~uint8](v T, err error) T {
 	return v
 }
 
+// keyTextMax bounds the rendered key text: every field at its widest
+// (longest app name, 64-bit seed, shortest-form float) stays well under
+// this, so appendKey's scratch buffer never spills to the heap.
+const keyTextMax = 192
+
+// appendKeyText appends the fixed-order canonical rendering of every spec
+// field — the preimage of the content address — to dst. The rendering is
+// pinned byte-for-byte to the fmt.Sprintf form earlier releases hashed
+// (TestKeyTextMatchesFmt), because changing a single byte here would
+// silently invalidate every cached result and every cross-version fill.
+func (s *Spec) appendKeyText(dst []byte) []byte {
+	dst = append(dst, "app="...)
+	dst = append(dst, s.App...)
+	dst = append(dst, " policy="...)
+	dst = append(dst, s.Policy...)
+	dst = append(dst, " prim="...)
+	dst = append(dst, s.Prim...)
+	dst = append(dst, " cas="...)
+	dst = append(dst, s.Variant...)
+	dst = append(dst, " ldex="...)
+	dst = strconv.AppendBool(dst, s.LoadEx)
+	dst = append(dst, " drop="...)
+	dst = strconv.AppendBool(dst, s.Drop)
+	dst = append(dst, " procs="...)
+	dst = strconv.AppendInt(dst, int64(s.Procs), 10)
+	dst = append(dst, " c="...)
+	dst = strconv.AppendInt(dst, int64(s.Contention), 10)
+	dst = append(dst, " a="...)
+	dst = strconv.AppendFloat(dst, s.WriteRun, 'g', -1, 64)
+	dst = append(dst, " rounds="...)
+	dst = strconv.AppendInt(dst, int64(s.Rounds), 10)
+	dst = append(dst, " size="...)
+	dst = strconv.AppendInt(dst, int64(s.Size), 10)
+	dst = append(dst, " seed="...)
+	dst = strconv.AppendUint(dst, s.Seed, 10)
+	return dst
+}
+
+// appendKey appends the spec's content address — 64 lowercase hex digits of
+// the SHA-256 of the canonical rendering — to dst. With a dst of sufficient
+// capacity the whole computation stays on the caller's stack, which is what
+// lets the cache-hit request path resolve a key without allocating.
+func (s *Spec) appendKey(dst []byte) []byte {
+	var text [keyTextMax]byte
+	sum := sha256.Sum256(s.appendKeyText(text[:0]))
+	const hexdig = "0123456789abcdef"
+	for _, b := range sum {
+		dst = append(dst, hexdig[b>>4], hexdig[b&0xf])
+	}
+	return dst
+}
+
 // Key returns the content address of a canonical spec: the hex SHA-256 of
 // a fixed-order rendering of every field. Two specs with the same key
 // request byte-for-byte the same simulation result.
 func (s Spec) Key() string {
-	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"app=%s policy=%s prim=%s cas=%s ldex=%t drop=%t procs=%d c=%d a=%g rounds=%d size=%d seed=%d",
-		s.App, s.Policy, s.Prim, s.Variant, s.LoadEx, s.Drop,
-		s.Procs, s.Contention, s.WriteRun, s.Rounds, s.Size, s.Seed)))
-	return hex.EncodeToString(h[:])
+	var buf [64]byte
+	return string(s.appendKey(buf[:0]))
 }

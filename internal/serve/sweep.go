@@ -55,6 +55,11 @@ func putSweepSlots(p *[]sweepSlot) {
 // ResponseWriter write, small enough to be cheap per request.
 const sweepWriteSize = 32 << 10
 
+// sweepWriterPool recycles the 32KB output buffers across sweep requests;
+// a drained buffer is reset off its ResponseWriter before being pooled so
+// it retains no reference to a finished request.
+var sweepWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, sweepWriteSize) }}
+
 // handleSweep runs a batch of specs and streams one NDJSON line per point,
 // in plan order. Each line is byte-identical to the /v1/sim response body
 // for the same spec (the exact cached encoding), so clients can mix single
@@ -119,7 +124,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var hits, coalesced uint64
 	for i, spec := range specs {
 		key := spec.Key()
-		data, call, state := s.start(spec, key, time.Until(overall))
+		e, call, state := s.start(spec, key, time.Until(overall))
+		var data []byte
+		if e != nil {
+			data = e.data // sweep lines always stream the identity encoding
+		}
 		slots[i] = sweepSlot{key: key, data: data, call: call, state: state}
 		switch state {
 		case dispatchHit:
@@ -132,10 +141,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			s.met.sweepCoalesced.Add(1)
 		}
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Sweep-Points", strconv.Itoa(len(specs)))
-	w.Header().Set("X-Sweep-Hits", strconv.FormatUint(hits, 10))
-	w.Header().Set("X-Sweep-Coalesced", strconv.FormatUint(coalesced, 10))
+	h := w.Header()
+	h["Content-Type"] = hdrNDJSON
+	h.Set("X-Sweep-Points", strconv.Itoa(len(specs)))
+	h.Set("X-Sweep-Hits", strconv.FormatUint(hits, 10))
+	h.Set("X-Sweep-Coalesced", strconv.FormatUint(coalesced, 10))
 
 	// Phase 2: stream results in plan order through a buffered writer.
 	// Consecutive ready lines (cache hits, already-finished runs) batch
@@ -148,8 +158,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// unfinished point reports the timeout in its line (the per-point
 	// framing survives).
 	flusher, _ := w.(http.Flusher)
-	bw := bufio.NewWriterSize(w, sweepWriteSize)
+	bw := sweepWriterPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	defer func() {
+		bw.Reset(nil) // drop the ResponseWriter reference before pooling
+		sweepWriterPool.Put(bw)
+	}()
 	push := func() { // boundary: hand buffered lines to the client now
+		if bw.Buffered() == 0 {
+			return // nothing new for the client; an empty flush still costs a write
+		}
 		bw.Flush()
 		if flusher != nil {
 			flusher.Flush()
@@ -200,6 +218,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			bw.Write(data)
 		}
 	}
-	push()
+	// Final lines: drain the bufio layer only. The handler is about to
+	// return, and net/http flushes its own buffers then anyway — an
+	// explicit Flusher.Flush here would split the tail into two socket
+	// writes (last chunk, then terminal chunk) where the return path emits
+	// both in one.
+	bw.Flush()
 	s.met.latency.observe(time.Since(start))
 }

@@ -20,9 +20,14 @@ func NewContentionTracker() *ContentionTracker {
 	}
 }
 
-// Reset forgets all in-progress accesses and accumulated samples.
+// Reset forgets all in-progress accesses and accumulated samples. The
+// per-location maps are emptied in place rather than dropped: a reused
+// machine touches the same tracked locations every run, and keeping the
+// inner maps keeps Begin allocation-free in the steady state.
 func (t *ContentionTracker) Reset() {
-	clear(t.active)
+	for _, procs := range t.active {
+		clear(procs)
+	}
 	t.hist.Reset()
 }
 
@@ -138,6 +143,7 @@ type ChainRecorder struct {
 	rows, cols int
 	name       func(row, col int) string
 	grid       []*Histogram // rows*cols; nil cells never recorded
+	spare      []*Histogram // reset histograms parked for reuse by RecordAt
 }
 
 // NewChainRecorder returns an empty recorder with no grid.
@@ -155,16 +161,24 @@ func NewChainGrid(rows, cols int, name func(row, col int) string) *ChainRecorder
 		cols:    cols,
 		name:    name,
 		grid:    make([]*Histogram, rows*cols),
+		spare:   make([]*Histogram, rows*cols),
 	}
 }
 
 // Reset forgets every recorded class. Grid cells return to nil so the read
 // API reports exactly the classes recorded since the reset, as on a fresh
-// recorder.
+// recorder; the emptied histograms are parked in a spare grid for RecordAt
+// to reclaim, keeping the reused-machine path allocation-free. Parking is
+// safe because reports never alias chain histograms — report.Collect copies
+// out scalar summaries.
 func (c *ChainRecorder) Reset() {
 	clear(c.byClass)
-	for i := range c.grid {
-		c.grid[i] = nil
+	for i, h := range c.grid {
+		if h != nil {
+			h.Reset()
+			c.spare[i] = h
+			c.grid[i] = nil
+		}
 	}
 }
 
@@ -185,7 +199,11 @@ func (c *ChainRecorder) RecordAt(row, col, chain int) {
 	i := row*c.cols + col
 	h := c.grid[i]
 	if h == nil {
-		h = NewHistogram()
+		if h = c.spare[i]; h != nil {
+			c.spare[i] = nil
+		} else {
+			h = NewHistogram()
+		}
 		c.grid[i] = h
 	}
 	h.Add(chain)
