@@ -46,6 +46,7 @@ type report struct {
 	Scaling    []hostbench.ScalingPoint `json:"scaling,omitempty"`
 	Fleet      []hostbench.FleetPoint   `json:"fleet,omitempty"`
 	Socket     []hostbench.SocketPoint  `json:"socket,omitempty"`
+	Structs    []hostbench.StructPoint  `json:"structs,omitempty"`
 }
 
 // loadReport reads a JSON baseline previously written by this command.
@@ -135,6 +136,7 @@ func compare(oldPath, newPath string) error {
 	compareScaling(oldRep, newRep)
 	compareFleet(oldRep, newRep)
 	compareSocket(oldRep, newRep)
+	compareStructs(oldRep, newRep)
 	if len(gateFailures) > 0 {
 		return fmt.Errorf("%d gated regression(s): %s", len(gateFailures), strings.Join(gateFailures, "; "))
 	}
@@ -167,6 +169,36 @@ func compareSocket(oldRep, newRep *report) {
 	}
 	for mode := range oldBy {
 		fmt.Printf("  %s: removed\n", mode)
+	}
+}
+
+// compareStructs prints the lock-free structure curve delta: per
+// (app, policy, prim) cell, host ops/sec plus the deterministic per-run
+// operation and retry counts — a retry-count change means the structure's
+// protocol behavior changed, not just the host speed. Baselines recorded
+// before the workload library simply have no structs section.
+func compareStructs(oldRep, newRep *report) {
+	if len(newRep.Structs) == 0 && len(oldRep.Structs) == 0 {
+		return
+	}
+	key := func(p hostbench.StructPoint) string {
+		return fmt.Sprintf("%s/%s/%s", p.App, p.Policy, p.Prim)
+	}
+	oldBy := make(map[string]hostbench.StructPoint, len(oldRep.Structs))
+	for _, p := range oldRep.Structs {
+		oldBy[key(p)] = p
+	}
+	fmt.Printf("\nstructs (lock-free workloads, per app x policy x prim)\n")
+	for _, np := range newRep.Structs {
+		op, ok := oldBy[key(np)]
+		delete(oldBy, key(np))
+		fmt.Printf("  %s\n", key(np))
+		fmt.Printf("    ops/s:   %s\n", delta(op.OpsPerSec, np.OpsPerSec, ok, "%.0f"))
+		fmt.Printf("    ops:     %s\n", delta(float64(op.Ops), float64(np.Ops), ok, "%.0f"))
+		fmt.Printf("    retries: %s\n", delta(float64(op.Retries), float64(np.Retries), ok, "%.0f"))
+	}
+	for k := range oldBy {
+		fmt.Printf("  %s: removed\n", k)
 	}
 }
 
@@ -251,6 +283,7 @@ func main() {
 	scalingPts := flag.Int("scaling-points", 2000, "simulation points per scaling-ladder rung (0 skips the ladder)")
 	fleetPts := flag.Int("fleet-points", 800, "router-path requests per fleet-curve cell (0 skips the fleet curve)")
 	socketPts := flag.Int("socket-points", 20000, "simulation points per loopback-TCP mode (0 skips the socket curve)")
+	structRuns := flag.Int("struct-runs", 40, "runs per lock-free structure cell (0 skips the structure curve)")
 	flag.Parse()
 
 	if *cmp {
@@ -311,6 +344,10 @@ func main() {
 	if *socketPts > 0 {
 		fmt.Fprintf(os.Stderr, "running socket curve (%d points per mode)...\n", *socketPts)
 		rep.Socket = hostbench.MeasureSocket(*socketPts)
+	}
+	if *structRuns > 0 {
+		fmt.Fprintf(os.Stderr, "running structure curve (%d runs per cell)...\n", *structRuns)
+		rep.Structs = hostbench.MeasureStructures(*structRuns)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -10,6 +10,8 @@
 //	dsmsim -app counter -policy UNC -prim FAP -c 64
 //	dsmsim -app mcs -policy INV -prim CAS -ldex -a 2
 //	dsmsim -app tclosure -prim LLSC -size 32 -json
+//	dsmsim -app msqueue -prim CAS -c 8
+//	dsmsim -app rcu -policy UPD -prim LLSC -c 2
 //
 // Unknown -app/-policy/-prim/-cas values are rejected with a usage message
 // and exit status 2.
@@ -53,7 +55,7 @@ func validateApp(app string) error {
 
 func main() {
 	var (
-		app     = flag.String("app", "counter", "workload: counter, tts, mcs, tclosure, locusroute, cholesky")
+		app     = flag.String("app", "counter", "workload: counter, tts, mcs, tclosure, locusroute, cholesky, msqueue, stack, rcu, tournament, dissemination")
 		policy  = flag.String("policy", "INV", "coherence policy for sync data: INV, UPD, UNC")
 		prim    = flag.String("prim", "FAP", "primitive family: FAP, CAS, LLSC")
 		variant = flag.String("cas", "INV", "compare_and_swap variant: INV, INVd, INVs")
@@ -114,6 +116,15 @@ func main() {
 	case workload.Synthetic():
 		fmt.Fprintf(summary, "updates: %d, elapsed: %d cycles, avg cycles/update: %.1f\n",
 			res.Updates, res.Elapsed, res.AvgCycles)
+	case workload == exper.AppRCU:
+		fmt.Fprintf(summary, "reads+updates: %d, elapsed: %d cycles, torn reads: %d, avg cycles/op: %.1f\n",
+			res.Updates, res.Elapsed, res.Work, res.AvgCycles)
+	case workload == exper.AppTournament || workload == exper.AppDissemination:
+		fmt.Fprintf(summary, "episodes: %d, elapsed: %d cycles, avg cycles/barrier round: %.1f\n",
+			res.Updates, res.Elapsed, res.AvgCycles)
+	case workload.Workload(): // msqueue, stack
+		fmt.Fprintf(summary, "ops: %d, elapsed: %d cycles, retries: %d, avg cycles/op: %.1f\n",
+			res.Updates, res.Elapsed, res.Work, res.AvgCycles)
 	case workload == exper.AppTClosure:
 		fmt.Fprintf(summary, "elapsed: %d cycles, reachable pairs: %d\n", res.Elapsed, res.Work)
 	case workload == exper.AppLocusRoute:

@@ -44,7 +44,10 @@ func TestParseBarRejectsUnknownValues(t *testing.T) {
 }
 
 func TestValidateApp(t *testing.T) {
-	for _, app := range []string{"counter", "tts", "mcs", "tclosure", "locusroute", "cholesky"} {
+	for _, app := range []string{
+		"counter", "tts", "mcs", "tclosure", "locusroute", "cholesky",
+		"msqueue", "stack", "rcu", "tournament", "dissemination",
+	} {
 		if err := validateApp(app); err != nil {
 			t.Errorf("validateApp(%q) = %v", app, err)
 		}

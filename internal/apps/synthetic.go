@@ -94,10 +94,13 @@ type synthRunner struct {
 	ctr                        arch.Addr // the plain counter under the TTS/MCS locks
 }
 
-// runnerFor returns m's resident runner, creating it on first use.
+// runnerFor returns m's resident synthetic runner, creating it on first
+// use. Runners live in the machine's scratch container (see scratchFor) so
+// the synthetic and lock-free workload runners coexist on a reused machine.
 func runnerFor(m *machine.Machine) *synthRunner {
-	if r, ok := m.AppScratch().(*synthRunner); ok {
-		return r
+	sc := scratchFor(m)
+	if sc.synth != nil {
+		return sc.synth
 	}
 	r := &synthRunner{m: m}
 	r.prog = r.body
@@ -112,7 +115,7 @@ func runnerFor(m *machine.Machine) *synthRunner {
 		p.Store(r.ctr, p.Load(r.ctr)+1)
 		r.mcs.Release(p)
 	}
-	m.SetAppScratch(r)
+	sc.synth = r
 	return r
 }
 

@@ -1,10 +1,21 @@
 // Package check verifies concurrent histories collected from the
-// simulator. Its main tool is a linearizability checker for the shared
-// counter — the object at the heart of all three of the paper's synthetic
-// applications — exploiting the counter's structure for an efficient exact
-// check: fetched values must be a permutation of 0..n-1 that respects the
-// real-time order of non-overlapping operations, and reads must fall
-// within the window of increments concurrent with them.
+// simulator: exact linearizability checkers for the shared counter, the
+// FIFO queue, and the LIFO stack — the objects behind the synthetic and
+// lock-free workloads. Each checker exploits its object's structure:
+//
+//   - CheckCounter: fetched values must be a permutation of 0..n-1 that
+//     respects the real-time order of non-overlapping operations, and
+//     reads must fall within the window of increments concurrent with
+//     them.
+//   - CheckQueue: the aspect rules of Henzinger, Sezgin & Vafeiadis — an
+//     O(n²) pairwise test that is complete for complete histories with
+//     distinct enqueued values.
+//   - CheckStack: a memoized depth-first search over linearization
+//     prefixes (Wing & Gong, with Lowe's state-set pruning).
+//
+// A naive brute-force reference checker (reference.go) independently
+// re-derives each verdict on small histories; randomized property tests
+// hold the three production checkers to it.
 package check
 
 import (
@@ -33,14 +44,28 @@ const (
 	Inc Kind = iota
 	// Read is an ordinary read of the counter.
 	Read
+	// Enq is a queue enqueue of Value.
+	Enq
+	// Deq is a queue dequeue that returned Value.
+	Deq
+	// DeqEmpty is a queue dequeue that reported an empty queue.
+	DeqEmpty
+	// Push is a stack push of Value.
+	Push
+	// Pop is a stack pop that returned Value.
+	Pop
+	// PopEmpty is a stack pop that reported an empty stack.
+	PopEmpty
 )
+
+var kindNames = [...]string{"inc", "read", "enq", "deq", "deq-empty", "push", "pop", "pop-empty"}
 
 // String names the kind.
 func (k Kind) String() string {
-	if k == Inc {
-		return "inc"
+	if int(k) < len(kindNames) {
+		return kindNames[k]
 	}
-	return "read"
+	return fmt.Sprintf("kind(%d)", k)
 }
 
 // History accumulates operations. Record order is irrelevant; operations
@@ -127,6 +152,36 @@ func (h *History) CheckCounter() error {
 			return fmt.Errorf(
 				"check: proc %d read %d during [%d,%d], legal window [%d,%d]",
 				r.Proc, v, r.Invoke, r.Respond, lo, hi)
+		}
+	}
+
+	// 4. Cross order: the value sequence fixes a required order between
+	// every inc and every read (the inc fetching v precedes reads of
+	// values above v and follows reads of values at or below v) and
+	// between reads of different values; an op required later must not
+	// complete before an op required earlier begins. Subsumes rule 3 but
+	// kept separate for the clearer per-read message above.
+	for _, r := range reads {
+		for _, in := range incs {
+			if in.Value < r.Value && r.Respond < in.Invoke {
+				return fmt.Errorf(
+					"check: proc %d read %d (ending %d) before the inc fetching %d began at %d",
+					r.Proc, r.Value, r.Respond, in.Value, in.Invoke)
+			}
+			if r.Value <= in.Value && in.Respond < r.Invoke {
+				return fmt.Errorf(
+					"check: proc %d read %d at %d after the inc fetching %d completed at %d",
+					r.Proc, r.Value, r.Invoke, in.Value, in.Respond)
+			}
+		}
+	}
+	for _, r1 := range reads {
+		for _, r2 := range reads {
+			if r1.Value < r2.Value && r2.Respond < r1.Invoke {
+				return fmt.Errorf(
+					"check: reads not monotonic: proc %d read %d (ending %d) before proc %d read %d (from %d)",
+					r2.Proc, r2.Value, r2.Respond, r1.Proc, r1.Value, r1.Invoke)
+			}
 		}
 	}
 	return nil

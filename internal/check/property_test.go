@@ -1,0 +1,245 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dsm/internal/arch"
+	"dsm/internal/sim"
+)
+
+// These tests hold the production checkers to the naive reference on
+// thousands of randomized small histories — half adversarially random
+// (mostly illegal), half legal-by-construction with occasional mutations
+// (legal unless the mutation broke them). The checkers must return the
+// reference's exact verdict either way; a disagreement in either
+// direction (silent pass or false alarm) fails the test with the
+// offending history dumped.
+
+const propTrials = 3000
+
+// widen turns a sequence of instantaneous linearization points (op i at
+// time 10*i+10) into a concurrent history by stretching each interval
+// randomly around its point, which preserves linearizability. (sim.Time
+// is unsigned, so the points sit high enough that stretching backwards
+// cannot wrap.)
+func widen(rng *rand.Rand, ops []Op) {
+	for i := range ops {
+		point := sim.Time(10*i + 10)
+		ops[i].Invoke = point - sim.Time(rng.Intn(9))
+		ops[i].Respond = point + sim.Time(rng.Intn(9))
+	}
+}
+
+// mutate corrupts one op in place (sometimes a no-op mutation).
+func mutate(rng *rand.Rand, ops []Op, emptyKind, valKind Kind) {
+	if len(ops) == 0 {
+		return
+	}
+	o := &ops[rng.Intn(len(ops))]
+	switch rng.Intn(3) {
+	case 0:
+		o.Value = arch.Word(rng.Intn(6) + 1)
+	case 1:
+		if o.Kind == valKind {
+			o.Kind = emptyKind
+		} else if o.Kind == emptyKind {
+			o.Kind = valKind
+		}
+	case 2:
+		d := ops[rng.Intn(len(ops))]
+		o.Invoke, o.Respond = d.Invoke, d.Respond
+		if o.Respond < o.Invoke {
+			o.Invoke, o.Respond = o.Respond, o.Invoke
+		}
+	}
+}
+
+func dump(ops []Op) string {
+	s := ""
+	for _, o := range ops {
+		s += fmt.Sprintf("  {proc %d [%d,%d] %s %d}\n", o.Proc, o.Invoke, o.Respond, o.Kind, o.Value)
+	}
+	return s
+}
+
+// randCollectionHistory builds a history for a queue (lifo=false) or
+// stack (lifo=true). Each op gets its own proc id, so all overlap
+// patterns are expressible. Inserted values are distinct.
+func randCollectionHistory(rng *rand.Rand, lifo bool) []Op {
+	insKind, remKind, emptyKind := Enq, Deq, DeqEmpty
+	if lifo {
+		insKind, remKind, emptyKind = Push, Pop, PopEmpty
+	}
+	n := rng.Intn(7) + 1
+	ops := make([]Op, 0, n)
+	if rng.Intn(2) == 0 {
+		// Adversarial: random kinds, values, and times.
+		pool := rng.Perm(8)
+		for i := 0; i < n; i++ {
+			o := Op{Proc: i}
+			o.Invoke = sim.Time(rng.Intn(30))
+			o.Respond = o.Invoke + sim.Time(rng.Intn(12))
+			switch rng.Intn(5) {
+			case 0, 1:
+				o.Kind, o.Value = insKind, arch.Word(pool[i]+1)
+			case 2, 3:
+				o.Kind, o.Value = remKind, arch.Word(rng.Intn(8)+1)
+			default:
+				o.Kind = emptyKind
+			}
+			ops = append(ops, o)
+		}
+		return ops
+	}
+	// Legal-by-construction: replay a random sequential execution, widen,
+	// then mutate half the time.
+	var state []arch.Word
+	next := arch.Word(1)
+	for i := 0; i < n; i++ {
+		o := Op{Proc: i}
+		switch {
+		case len(state) > 0 && rng.Intn(2) == 0:
+			o.Kind = remKind
+			if lifo {
+				o.Value = state[len(state)-1]
+				state = state[:len(state)-1]
+			} else {
+				o.Value = state[0]
+				state = state[1:]
+			}
+		case len(state) == 0 && rng.Intn(3) == 0:
+			o.Kind = emptyKind
+		default:
+			o.Kind, o.Value = insKind, next
+			state = append(state, next)
+			next++
+		}
+		ops = append(ops, o)
+	}
+	widen(rng, ops)
+	if rng.Intn(2) == 0 {
+		mutate(rng, ops, emptyKind, remKind)
+	}
+	return ops
+}
+
+func differentiated(ops []Op, insKind Kind) bool {
+	seen := map[arch.Word]bool{}
+	for _, o := range ops {
+		if o.Kind == insKind {
+			if seen[o.Value] {
+				return false
+			}
+			seen[o.Value] = true
+		}
+	}
+	return true
+}
+
+func TestPropertyQueueCheckerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < propTrials; trial++ {
+		ops := randCollectionHistory(rng, false)
+		if !differentiated(ops, Enq) {
+			continue // CheckQueue rejects these by contract
+		}
+		h := hist(ops...)
+		got := h.CheckQueue() == nil
+		want := referenceLinearizable(ops, queueStep, nil)
+		if got != want {
+			t.Fatalf("trial %d: CheckQueue=%v reference=%v on\n%s", trial, got, want, dump(ops))
+		}
+	}
+}
+
+func TestPropertyStackCheckerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < propTrials; trial++ {
+		ops := randCollectionHistory(rng, true)
+		h := hist(ops...)
+		got := h.CheckStack() == nil
+		want := referenceLinearizable(ops, stackStep, nil)
+		if got != want {
+			t.Fatalf("trial %d: CheckStack=%v reference=%v on\n%s", trial, got, want, dump(ops))
+		}
+	}
+}
+
+// randCounterHistory mirrors randCollectionHistory for the counter.
+func randCounterHistory(rng *rand.Rand) []Op {
+	n := rng.Intn(7) + 1
+	ops := make([]Op, 0, n)
+	if rng.Intn(2) == 0 {
+		for i := 0; i < n; i++ {
+			o := Op{Proc: i}
+			o.Invoke = sim.Time(rng.Intn(30))
+			o.Respond = o.Invoke + sim.Time(rng.Intn(12))
+			if rng.Intn(2) == 0 {
+				o.Kind = Inc
+			} else {
+				o.Kind = Read
+			}
+			o.Value = arch.Word(rng.Intn(n + 1))
+			ops = append(ops, o)
+		}
+		return ops
+	}
+	count := arch.Word(0)
+	for i := 0; i < n; i++ {
+		o := Op{Proc: i, Value: count}
+		if rng.Intn(3) > 0 {
+			o.Kind = Inc
+			count++
+		} else {
+			o.Kind = Read
+		}
+		ops = append(ops, o)
+	}
+	widen(rng, ops)
+	if rng.Intn(2) == 0 && len(ops) > 0 {
+		o := &ops[rng.Intn(len(ops))]
+		if rng.Intn(2) == 0 {
+			o.Value = arch.Word(rng.Intn(n + 1))
+		} else {
+			d := ops[rng.Intn(len(ops))]
+			o.Invoke, o.Respond = d.Invoke, d.Respond
+		}
+	}
+	return ops
+}
+
+// TestPropertyCounterCheckerMatchesReference is the regression net for
+// CheckCounter itself: the reference caught that the original rules
+// validated each read in isolation, silently passing histories whose
+// reads were individually in-window but jointly non-monotonic (read 2
+// strictly before read 1); rule 4 exists because of this test.
+func TestPropertyCounterCheckerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < propTrials; trial++ {
+		ops := randCounterHistory(rng)
+		h := hist(ops...)
+		got := h.CheckCounter() == nil
+		want := referenceLinearizable(ops, counterStep, []arch.Word{0})
+		if got != want {
+			t.Fatalf("trial %d: CheckCounter=%v reference=%v on\n%s", trial, got, want, dump(ops))
+		}
+	}
+}
+
+// TestCounterNonMonotonicReadsDetected pins the concrete silent-pass the
+// property test first exposed: five concurrent incs, read 2 wholly
+// before read 1 — both reads in their individual windows, jointly
+// impossible.
+func TestCounterNonMonotonicReadsDetected(t *testing.T) {
+	var h History
+	for i := 0; i < 5; i++ {
+		h.Record(inc(i, 0, 100, arch.Word(i)))
+	}
+	h.Record(rd(5, 0, 10, 2))
+	h.Record(rd(6, 20, 30, 1))
+	if err := h.CheckCounter(); err == nil {
+		t.Fatal("non-monotonic reads accepted")
+	}
+}

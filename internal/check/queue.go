@@ -1,0 +1,116 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"dsm/internal/arch"
+	"dsm/internal/sim"
+)
+
+// CheckQueue verifies that the history is a linearizable execution of a
+// FIFO queue that starts empty, returning nil if so or an error naming the
+// first violation found. It implements the aspect rules of Henzinger,
+// Sezgin & Vafeiadis ("Aspect-Oriented Linearizability Proofs"): for a
+// complete, differentiated history — every op responded, every value
+// enqueued at most once — FIFO linearizability reduces to the absence of
+// four O(n²)-testable pairwise violations, checked below in order. The
+// reduction does not hold for repeated values, so a history that enqueues
+// the same value twice is rejected as a harness bug.
+func (h *History) CheckQueue() error {
+	enq := map[arch.Word]*Op{}
+	deq := map[arch.Word]*Op{}
+	var empties []*Op
+	for i := range h.ops {
+		op := &h.ops[i]
+		switch op.Kind {
+		case Enq:
+			if enq[op.Value] != nil {
+				return fmt.Errorf("check: value %d enqueued twice — history not differentiated", op.Value)
+			}
+			enq[op.Value] = op
+		case Deq:
+			if d := deq[op.Value]; d != nil {
+				// VRepet: one value left the queue twice.
+				return fmt.Errorf("check: value %d dequeued twice (procs %d and %d)", op.Value, d.Proc, op.Proc)
+			}
+			deq[op.Value] = op
+		case DeqEmpty:
+			empties = append(empties, op)
+		default:
+			return fmt.Errorf("check: op kind %s in a queue history", op.Kind)
+		}
+	}
+
+	// Stable iteration order for deterministic error messages.
+	values := make([]arch.Word, 0, len(enq))
+	for v := range enq {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+
+	// VFresh: every dequeued value was enqueued, and not wholly after the
+	// dequeue.
+	for v, d := range deq {
+		e := enq[v]
+		if e == nil {
+			return fmt.Errorf("check: proc %d dequeued %d, which was never enqueued", d.Proc, v)
+		}
+		if d.Respond < e.Invoke {
+			return fmt.Errorf("check: value %d dequeued (ending %d) before its enqueue began (%d)", v, d.Respond, e.Invoke)
+		}
+	}
+
+	// VOrd: if enq(a) strictly precedes enq(b), then b must not leave the
+	// queue while a provably remains — a must be dequeued too, and deq(b)
+	// must not strictly precede deq(a).
+	for _, a := range values {
+		for _, b := range values {
+			if a == b || !(enq[a].Respond < enq[b].Invoke) || deq[b] == nil {
+				continue
+			}
+			if deq[a] == nil {
+				return fmt.Errorf(
+					"check: FIFO violation: %d enqueued before %d, but %d was dequeued (proc %d) while %d never was",
+					a, b, b, deq[b].Proc, a)
+			}
+			if deq[b].Respond < deq[a].Invoke {
+				return fmt.Errorf(
+					"check: FIFO violation: %d enqueued before %d, but dequeued after it (procs %d, %d)",
+					a, b, deq[a].Proc, deq[b].Proc)
+			}
+		}
+	}
+
+	// VWit: an empty-returning dequeue needs an instant in its interval at
+	// which the queue could be empty. Value x is certainly in the queue on
+	// the open span (enq(x).Respond, deq(x).Invoke) — its enqueue point can
+	// be no later than the former, its dequeue point no earlier than the
+	// latter (unbounded if never dequeued). The dequeue is a violation iff
+	// those spans jointly cover its whole interval. No single span need
+	// cover it: an uncovered instant, if any, is the interval's start or
+	// some span's right endpoint (the infimum of the uncovered closed set),
+	// so only those candidates are probed.
+	for _, d := range empties {
+		uncovered := func(t sim.Time) bool {
+			for _, x := range values {
+				if enq[x].Respond < t && (deq[x] == nil || t < deq[x].Invoke) {
+					return false
+				}
+			}
+			return true
+		}
+		legal := uncovered(d.Invoke)
+		for _, x := range values {
+			if deq[x] != nil && d.Invoke < deq[x].Invoke && deq[x].Invoke <= d.Respond && uncovered(deq[x].Invoke) {
+				legal = true
+			}
+		}
+		if !legal {
+			return fmt.Errorf(
+				"check: proc %d saw an empty queue during [%d,%d], but the queue was provably non-empty throughout",
+				d.Proc, d.Invoke, d.Respond)
+		}
+	}
+	return nil
+}

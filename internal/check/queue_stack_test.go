@@ -1,0 +1,222 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"dsm/internal/arch"
+	"dsm/internal/sim"
+)
+
+func op(k Kind, proc int, invoke, respond sim.Time, v arch.Word) Op {
+	return Op{Proc: proc, Invoke: invoke, Respond: respond, Kind: k, Value: v}
+}
+
+func hist(ops ...Op) *History {
+	var h History
+	for _, o := range ops {
+		h.Record(o)
+	}
+	return &h
+}
+
+// ------------------------------------------------------------- queue ----
+
+func TestQueueSequentialFIFOOK(t *testing.T) {
+	h := hist(
+		op(Enq, 0, 0, 5, 1),
+		op(Enq, 0, 10, 15, 2),
+		op(Deq, 0, 20, 25, 1),
+		op(Deq, 0, 30, 35, 2),
+		op(DeqEmpty, 0, 40, 45, 0),
+	)
+	if err := h.CheckQueue(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueConcurrentEnqueuesEitherOrderOK(t *testing.T) {
+	// Overlapping enqueues may linearize in either order, so either
+	// dequeue order is legal.
+	h := hist(
+		op(Enq, 0, 0, 100, 1),
+		op(Enq, 1, 0, 100, 2),
+		op(Deq, 2, 200, 210, 2),
+		op(Deq, 2, 220, 230, 1),
+	)
+	if err := h.CheckQueue(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFIFOInversionDetected(t *testing.T) {
+	// enq(1) strictly precedes enq(2), yet 2 leaves strictly first.
+	h := hist(
+		op(Enq, 0, 0, 5, 1),
+		op(Enq, 0, 10, 15, 2),
+		op(Deq, 1, 20, 25, 2),
+		op(Deq, 1, 30, 35, 1),
+	)
+	err := h.CheckQueue()
+	if err == nil || !strings.Contains(err.Error(), "FIFO") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueueSkippedValueDetected(t *testing.T) {
+	// 2 dequeued while the strictly-earlier 1 never leaves.
+	h := hist(
+		op(Enq, 0, 0, 5, 1),
+		op(Enq, 0, 10, 15, 2),
+		op(Deq, 1, 20, 25, 2),
+	)
+	if err := h.CheckQueue(); err == nil {
+		t.Fatal("skipped FIFO predecessor accepted")
+	}
+}
+
+func TestQueuePhantomValueDetected(t *testing.T) {
+	h := hist(op(Deq, 0, 0, 5, 7))
+	err := h.CheckQueue()
+	if err == nil || !strings.Contains(err.Error(), "never enqueued") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueueDoubleDequeueDetected(t *testing.T) {
+	h := hist(
+		op(Enq, 0, 0, 5, 1),
+		op(Deq, 1, 10, 15, 1),
+		op(Deq, 2, 20, 25, 1),
+	)
+	err := h.CheckQueue()
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueueBadEmptyDetected(t *testing.T) {
+	// 1 is in the queue for the empty dequeue's whole duration.
+	h := hist(
+		op(Enq, 0, 0, 5, 1),
+		op(DeqEmpty, 1, 10, 15, 0),
+		op(Deq, 2, 20, 25, 1),
+	)
+	err := h.CheckQueue()
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueueEmptyOverlappingDequeueOK(t *testing.T) {
+	// The empty dequeue overlaps deq(1), so it may linearize after it.
+	h := hist(
+		op(Enq, 0, 0, 5, 1),
+		op(Deq, 1, 10, 30, 1),
+		op(DeqEmpty, 2, 20, 40, 0),
+	)
+	if err := h.CheckQueue(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueNotDifferentiatedRejected(t *testing.T) {
+	h := hist(
+		op(Enq, 0, 0, 5, 1),
+		op(Enq, 0, 10, 15, 1),
+	)
+	err := h.CheckQueue()
+	if err == nil || !strings.Contains(err.Error(), "differentiated") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueueRejectsForeignKinds(t *testing.T) {
+	h := hist(op(Push, 0, 0, 5, 1))
+	if err := h.CheckQueue(); err == nil {
+		t.Fatal("stack op accepted in queue history")
+	}
+}
+
+// ------------------------------------------------------------- stack ----
+
+func TestStackSequentialLIFOOK(t *testing.T) {
+	h := hist(
+		op(Push, 0, 0, 5, 1),
+		op(Push, 0, 10, 15, 2),
+		op(Pop, 0, 20, 25, 2),
+		op(Pop, 0, 30, 35, 1),
+		op(PopEmpty, 0, 40, 45, 0),
+	)
+	if err := h.CheckStack(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackConcurrentPushesEitherOrderOK(t *testing.T) {
+	h := hist(
+		op(Push, 0, 0, 100, 1),
+		op(Push, 1, 0, 100, 2),
+		op(Pop, 2, 200, 210, 1),
+		op(Pop, 2, 220, 230, 2),
+	)
+	if err := h.CheckStack(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackFIFOOrderRejected(t *testing.T) {
+	// Strictly ordered pushes popped oldest-first: a queue, not a stack.
+	h := hist(
+		op(Push, 0, 0, 5, 1),
+		op(Push, 0, 10, 15, 2),
+		op(Pop, 1, 20, 25, 1),
+		op(Pop, 1, 30, 35, 2),
+	)
+	if err := h.CheckStack(); err == nil {
+		t.Fatal("FIFO pop order accepted as LIFO")
+	}
+}
+
+func TestStackPhantomPopRejected(t *testing.T) {
+	h := hist(op(Pop, 0, 0, 5, 9))
+	if err := h.CheckStack(); err == nil {
+		t.Fatal("pop of never-pushed value accepted")
+	}
+}
+
+func TestStackBadEmptyRejected(t *testing.T) {
+	h := hist(
+		op(Push, 0, 0, 5, 1),
+		op(PopEmpty, 1, 10, 15, 0),
+		op(Pop, 2, 20, 25, 1),
+	)
+	if err := h.CheckStack(); err == nil {
+		t.Fatal("empty pop with a resident value accepted")
+	}
+}
+
+func TestStackInterleavedDeepHistoryOK(t *testing.T) {
+	// A longer, per-proc-sequential interleaving that stays linearizable:
+	// two procs alternate push/pop with overlap; values are per-proc.
+	var h History
+	for p := 0; p < 2; p++ {
+		base := sim.Time(p) // offset to interleave
+		for k := 0; k < 6; k++ {
+			v := arch.Word(100*p + k)
+			t0 := base + sim.Time(k*20)
+			h.Record(op(Push, p, t0, t0+8, v))
+			h.Record(op(Pop, p, t0+10, t0+18, v))
+		}
+	}
+	if err := h.CheckStack(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackRejectsForeignKinds(t *testing.T) {
+	h := hist(op(Enq, 0, 0, 5, 1))
+	if err := h.CheckStack(); err == nil {
+		t.Fatal("queue op accepted in stack history")
+	}
+}

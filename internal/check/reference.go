@@ -1,0 +1,103 @@
+package check
+
+import "dsm/internal/arch"
+
+// This file is the reference side of the property tests: a naive
+// linearizability checker that enumerates every real-time-respecting
+// permutation of a (small) history and replays it against a sequential
+// model. No pruning beyond the real-time candidate rule, no memoization,
+// no object-specific shortcuts — slow, obviously correct, and sharing no
+// code with the production checkers, which are property-tested against it
+// on randomized histories.
+
+// stepFunc replays one operation against a sequential model state,
+// reporting whether the operation is legal there and the successor state.
+// Implementations must not mutate the input state.
+type stepFunc func(state []arch.Word, op Op) ([]arch.Word, bool)
+
+// counterStep models a fetch-and-increment counter starting at 0;
+// state[0] is the current count.
+func counterStep(state []arch.Word, op Op) ([]arch.Word, bool) {
+	switch op.Kind {
+	case Inc:
+		if op.Value != state[0] {
+			return nil, false
+		}
+		return []arch.Word{state[0] + 1}, true
+	case Read:
+		return state, op.Value == state[0]
+	}
+	return nil, false
+}
+
+// queueStep models a FIFO queue starting empty; state is front-first.
+func queueStep(state []arch.Word, op Op) ([]arch.Word, bool) {
+	switch op.Kind {
+	case Enq:
+		return append(append([]arch.Word{}, state...), op.Value), true
+	case Deq:
+		if len(state) == 0 || state[0] != op.Value {
+			return nil, false
+		}
+		return append([]arch.Word{}, state[1:]...), true
+	case DeqEmpty:
+		return state, len(state) == 0
+	}
+	return nil, false
+}
+
+// stackStep models a LIFO stack starting empty; state is bottom-first.
+func stackStep(state []arch.Word, op Op) ([]arch.Word, bool) {
+	switch op.Kind {
+	case Push:
+		return append(append([]arch.Word{}, state...), op.Value), true
+	case Pop:
+		if n := len(state); n == 0 || state[n-1] != op.Value {
+			return nil, false
+		}
+		return append([]arch.Word{}, state[:len(state)-1]...), true
+	case PopEmpty:
+		return state, len(state) == 0
+	}
+	return nil, false
+}
+
+// referenceLinearizable reports whether some permutation of ops that
+// respects real-time order (an op responded strictly before another was
+// invoked must come first) replays legally through step from the empty
+// state. Exponential; intended for histories of at most ~10 operations.
+func referenceLinearizable(ops []Op, step stepFunc, initial []arch.Word) bool {
+	used := make([]bool, len(ops))
+	var rec func(remaining int, state []arch.Word) bool
+	rec = func(remaining int, state []arch.Word) bool {
+		if remaining == 0 {
+			return true
+		}
+		for i := range ops {
+			if used[i] {
+				continue
+			}
+			blocked := false
+			for j := range ops {
+				if !used[j] && j != i && ops[j].Respond < ops[i].Invoke {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			next, ok := step(state, ops[i])
+			if !ok {
+				continue
+			}
+			used[i] = true
+			if rec(remaining-1, next) {
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(len(ops), initial)
+}

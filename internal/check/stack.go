@@ -1,0 +1,128 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"dsm/internal/arch"
+	"dsm/internal/sim"
+)
+
+// CheckStack verifies that the history is a linearizable execution of a
+// LIFO stack that starts empty, returning nil if so or an error otherwise.
+// The stack has no complete pairwise-rule characterization like the
+// queue's, so this is an exact search in the style of Wing & Gong: a
+// depth-first enumeration of linearization prefixes, extending each prefix
+// only with operations no pending operation strictly precedes, replaying
+// stack semantics along the way. Lowe's pruning makes it tractable —
+// two prefixes that linearized the same operations and left the same
+// stack contents are interchangeable, so each such configuration is
+// explored once.
+func (h *History) CheckStack() error {
+	for i := range h.ops {
+		switch h.ops[i].Kind {
+		case Push, Pop, PopEmpty:
+		default:
+			return fmt.Errorf("check: op kind %s in a stack history", h.ops[i].Kind)
+		}
+	}
+	// Per-processor streams, each sequential, ordered by invocation.
+	byProc := map[int][]Op{}
+	for _, op := range h.ops {
+		byProc[op.Proc] = append(byProc[op.Proc], op)
+	}
+	s := &stackSearch{memo: map[string]struct{}{}, total: len(h.ops)}
+	for _, ops := range byProc {
+		ops := append([]Op(nil), ops...)
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+		s.procs = append(s.procs, ops)
+	}
+	sort.Slice(s.procs, func(i, j int) bool { return s.procs[i][0].Proc < s.procs[j][0].Proc })
+	s.pos = make([]int, len(s.procs))
+	if !s.dfs(0) {
+		return fmt.Errorf("check: no LIFO linearization of %d stack ops across %d procs", len(h.ops), len(s.procs))
+	}
+	return nil
+}
+
+// stackSearch is the DFS state: per-proc cursors, the replayed stack, and
+// the set of configurations already proven fruitless.
+type stackSearch struct {
+	procs [][]Op
+	pos   []int
+	stack []arch.Word
+	memo  map[string]struct{}
+	total int
+}
+
+// key encodes (cursors, stack contents) — the full configuration identity.
+func (s *stackSearch) key() string {
+	b := make([]byte, 0, 2*len(s.pos)+4*len(s.stack)+1)
+	for _, p := range s.pos {
+		b = append(b, byte(p), byte(p>>8))
+	}
+	b = append(b, 0xff)
+	for _, v := range s.stack {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func (s *stackSearch) dfs(done int) bool {
+	if done == s.total {
+		return true
+	}
+	k := s.key()
+	if _, dead := s.memo[k]; dead {
+		return false
+	}
+	s.memo[k] = struct{}{}
+
+	// An op may linearize next only if no pending op strictly precedes it
+	// (responded before it was invoked). Within a proc the head has the
+	// earliest response, so the heads bound the precedence frontier.
+	minResp := sim.Time(1<<63 - 1)
+	for p, ops := range s.procs {
+		if s.pos[p] < len(ops) && ops[s.pos[p]].Respond < minResp {
+			minResp = ops[s.pos[p]].Respond
+		}
+	}
+	for p, ops := range s.procs {
+		if s.pos[p] >= len(ops) {
+			continue
+		}
+		op := ops[s.pos[p]]
+		if op.Invoke > minResp {
+			continue
+		}
+		switch op.Kind {
+		case Push:
+			s.pos[p]++
+			s.stack = append(s.stack, op.Value)
+			if s.dfs(done + 1) {
+				return true
+			}
+			s.stack = s.stack[:len(s.stack)-1]
+			s.pos[p]--
+		case Pop:
+			if n := len(s.stack); n > 0 && s.stack[n-1] == op.Value {
+				s.pos[p]++
+				s.stack = s.stack[:n-1]
+				if s.dfs(done + 1) {
+					return true
+				}
+				s.stack = append(s.stack, op.Value)
+				s.pos[p]--
+			}
+		case PopEmpty:
+			if len(s.stack) == 0 {
+				s.pos[p]++
+				if s.dfs(done + 1) {
+					return true
+				}
+				s.pos[p]--
+			}
+		}
+	}
+	return false
+}

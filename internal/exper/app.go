@@ -18,11 +18,28 @@ const (
 	AppLocusRoute
 	AppCholesky
 	AppTClosure
+	// Lock-free workload library (internal/apps workloads.go): data
+	// structures and barriers driven by the same sharing patterns as the
+	// synthetic counters, so they sweep the identical bar x pattern grid.
+	AppMSQueue       // Michael-Scott lock-free FIFO queue
+	AppStack         // Treiber lock-free LIFO stack
+	AppRCU           // RCU-style reader/writer snapshot workload
+	AppTournament    // tournament barrier with per-round counter episodes
+	AppDissemination // dissemination barrier with per-round counter episodes
 )
 
 // Synthetic reports whether the app is one of the pattern-driven synthetic
 // workloads (contention level and write-run length apply to it).
 func (a App) Synthetic() bool { return a <= AppMCS }
+
+// Workload reports whether the app is one of the lock-free workload
+// library's structures (queue, stack, RCU, barriers).
+func (a App) Workload() bool { return a >= AppMSQueue && a <= AppDissemination }
+
+// PatternDriven reports whether the sharing-pattern parameters (contention
+// level, write-run length, rounds) apply to the app: the synthetic counters
+// and every workload-library structure.
+func (a App) PatternDriven() bool { return a.Synthetic() || a.Workload() }
 
 // Name returns the wire name used by the HTTP spec and the dsmsim -app
 // flag: counter, tts, mcs, locusroute, cholesky, tclosure.
@@ -40,6 +57,16 @@ func (a App) Name() string {
 		return "cholesky"
 	case AppTClosure:
 		return "tclosure"
+	case AppMSQueue:
+		return "msqueue"
+	case AppStack:
+		return "stack"
+	case AppRCU:
+		return "rcu"
+	case AppTournament:
+		return "tournament"
+	case AppDissemination:
+		return "dissemination"
 	}
 	return "app?"
 }
@@ -62,6 +89,11 @@ func (a App) String() string {
 // RealApps lists the figure 2/6 applications in paper order.
 func RealApps() []App { return []App{AppLocusRoute, AppCholesky, AppTClosure} }
 
+// WorkloadApps lists the lock-free workload library's structures.
+func WorkloadApps() []App {
+	return []App{AppMSQueue, AppStack, AppRCU, AppTournament, AppDissemination}
+}
+
 // ParseApp maps a wire workload name to the internal app.
 func ParseApp(s string) (App, error) {
 	switch s {
@@ -77,8 +109,18 @@ func ParseApp(s string) (App, error) {
 		return AppLocusRoute, nil
 	case "cholesky":
 		return AppCholesky, nil
+	case "msqueue":
+		return AppMSQueue, nil
+	case "stack":
+		return AppStack, nil
+	case "rcu":
+		return AppRCU, nil
+	case "tournament":
+		return AppTournament, nil
+	case "dissemination":
+		return AppDissemination, nil
 	}
-	return 0, fmt.Errorf("unknown app %q (want counter, tts, mcs, tclosure, locusroute, or cholesky)", s)
+	return 0, fmt.Errorf("unknown app %q (want counter, tts, mcs, tclosure, locusroute, cholesky, msqueue, stack, rcu, tournament, or dissemination)", s)
 }
 
 // ParsePolicy maps a wire policy name to the internal coherence policy.

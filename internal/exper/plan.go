@@ -38,6 +38,16 @@ func (r *Result) fromSynthetic(res apps.SyntheticResult) {
 	r.AvgCycles = res.AvgCycles
 }
 
+// fromWorkload maps a workload-library run onto the shared result shape:
+// operations land in Updates (the throughput numerator), retry/torn-read
+// counts in Work (the structures' contention signal).
+func (r *Result) fromWorkload(res apps.WorkloadResult) {
+	r.Elapsed = uint64(res.Elapsed)
+	r.Updates = res.Ops
+	r.Work = res.Retries
+	r.AvgCycles = res.AvgCycles
+}
+
 // RunOn executes the point on a caller-provided machine (built by
 // NewMachine for the point's scale and bar) and returns its result without
 // collecting a report — the caller still owns the machine and can read its
@@ -54,6 +64,16 @@ func (p Point) RunOn(m *machine.Machine) Result {
 		r.fromSynthetic(apps.TTSApp(m, p.Bar.Policy, p.Bar.Opts(), p.Pattern))
 	case AppMCS:
 		r.fromSynthetic(apps.MCSApp(m, p.Bar.Policy, p.Bar.Opts(), p.Pattern))
+	case AppMSQueue:
+		r.fromWorkload(apps.QueueApp(m, p.Bar.Policy, p.Bar.Opts(), p.Pattern, nil))
+	case AppStack:
+		r.fromWorkload(apps.StackApp(m, p.Bar.Policy, p.Bar.Opts(), p.Pattern, nil))
+	case AppRCU:
+		r.fromWorkload(apps.RCUApp(m, p.Bar.Policy, p.Bar.Opts(), p.Pattern))
+	case AppTournament:
+		r.fromWorkload(apps.TournamentApp(m, p.Bar.Policy, p.Bar.Opts(), p.Pattern, nil))
+	case AppDissemination:
+		r.fromWorkload(apps.DisseminationApp(m, p.Bar.Policy, p.Bar.Opts(), p.Pattern, nil))
 	case AppTClosure:
 		cfg := apps.TClosureConfig{
 			Size:   p.Scale.TCSize,

@@ -148,8 +148,52 @@ func TestCollectedReportSurvivesPoolReuse(t *testing.T) {
 	}
 }
 
+// TestWorkloadPlanParallelMatchesSerial extends the determinism contract
+// to the lock-free workload library: every workload app under every
+// synthetic bar, serial vs fanned-out, byte-identical reports.
+func TestWorkloadPlanParallelMatchesSerial(t *testing.T) {
+	o := RunOpts{Procs: 8, Rounds: 3}
+	base := Plan{Collect: true}
+	for _, app := range WorkloadApps() {
+		for _, bar := range SyntheticBars() {
+			base.Points = append(base.Points, Point{
+				App: app, Bar: bar, Scale: o,
+				Pattern: Pattern{Contention: 4, Rounds: o.Rounds},
+			})
+		}
+	}
+	run := func(par int) []Result {
+		pl := base
+		pl.Par = par
+		return Run(pl)
+	}
+	serial := run(1)
+	res := run(0)
+	for i := range res {
+		if res[i].Elapsed != serial[i].Elapsed || res[i].Updates != serial[i].Updates ||
+			res[i].AvgCycles != serial[i].AvgCycles || res[i].Work != serial[i].Work {
+			t.Fatalf("point %d (%s): %+v != serial %+v",
+				i, base.Points[i].App, res[i], serial[i])
+		}
+		var a, b bytes.Buffer
+		if err := res[i].Report.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := serial[i].Report.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("point %d (%s): report differs from serial", i, base.Points[i].App)
+		}
+		if res[i].Updates == 0 {
+			t.Fatalf("point %d (%s): zero operations", i, base.Points[i].App)
+		}
+	}
+}
+
 func TestParseRoundTrip(t *testing.T) {
-	for _, a := range []App{AppCounter, AppTTS, AppMCS, AppTClosure, AppLocusRoute, AppCholesky} {
+	for _, a := range []App{AppCounter, AppTTS, AppMCS, AppTClosure, AppLocusRoute, AppCholesky,
+		AppMSQueue, AppStack, AppRCU, AppTournament, AppDissemination} {
 		got, err := ParseApp(a.Name())
 		if err != nil || got != a {
 			t.Fatalf("ParseApp(%q) = %v, %v", a.Name(), got, err)

@@ -1,0 +1,69 @@
+package hostbench
+
+import (
+	"time"
+
+	"dsm/internal/core"
+	"dsm/internal/exper"
+	"dsm/internal/locks"
+)
+
+// StructPoint is one cell of the lock-free structure curve: a workload
+// library structure (MS queue or Treiber stack) under one policy and one
+// universal primitive, at the contended scale of record. Ops and Retries
+// are per simulated run — deterministic, so they double as a regression
+// fingerprint of the structure's protocol behavior — while OpsPerSec is
+// the host throughput of simulating those operations.
+type StructPoint struct {
+	App        string  `json:"app"`
+	Policy     string  `json:"policy"`
+	Prim       string  `json:"prim"`
+	Ops        uint64  `json:"ops"`         // structure operations per run
+	Retries    uint64  `json:"retries"`     // failed CAS/SC attempts per run
+	SimElapsed uint64  `json:"sim_elapsed"` // simulated cycles per run
+	OpsPerSec  float64 `json:"ops_per_sec"` // host simulation throughput
+}
+
+// structScale is the contended configuration every cell runs: 16
+// processors, 8 of them hitting the structure each round — enough
+// contention that the retry counts are a meaningful signal.
+func structPoint(app exper.App, pol core.Policy, prim locks.Prim) exper.Point {
+	return exper.Point{
+		App:     app,
+		Bar:     exper.Bar{Policy: pol, Prim: prim},
+		Scale:   exper.RunOpts{Procs: 16, Rounds: 8},
+		Pattern: exper.Pattern{Contention: 8, Rounds: 8},
+	}
+}
+
+// MeasureStructures times the queue/stack grid — {msqueue, stack} x
+// {INV, UPD, UNC} x {CAS, LLSC} — running each cell `runs` times and
+// reporting per-run operation/retry counts plus host ops/sec.
+func MeasureStructures(runs int) []StructPoint {
+	if runs < 1 {
+		runs = 1
+	}
+	var out []StructPoint
+	for _, app := range []exper.App{exper.AppMSQueue, exper.AppStack} {
+		for _, pol := range []core.Policy{core.PolicyINV, core.PolicyUPD, core.PolicyUNC} {
+			for _, prim := range []locks.Prim{locks.PrimCAS, locks.PrimLLSC} {
+				pt := structPoint(app, pol, prim)
+				start := time.Now()
+				var res exper.Result
+				for i := 0; i < runs; i++ {
+					res = pt.Run(false)
+				}
+				sec := time.Since(start).Seconds()
+				sp := StructPoint{
+					App: app.Name(), Policy: pol.String(), Prim: prim.String(),
+					Ops: res.Updates, Retries: res.Work, SimElapsed: res.Elapsed,
+				}
+				if sec > 0 {
+					sp.OpsPerSec = float64(res.Updates) * float64(runs) / sec
+				}
+				out = append(out, sp)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package hostbench
+
+import "testing"
+
+func TestMeasureStructuresCoversGrid(t *testing.T) {
+	pts := MeasureStructures(2)
+	if len(pts) != 12 {
+		t.Fatalf("got %d cells, want 12", len(pts))
+	}
+	seen := map[string]bool{}
+	casRetries := false
+	for _, p := range pts {
+		key := p.App + "/" + p.Policy + "/" + p.Prim
+		if seen[key] {
+			t.Fatalf("duplicate cell %s", key)
+		}
+		seen[key] = true
+		if p.Ops == 0 || p.SimElapsed == 0 || p.OpsPerSec <= 0 {
+			t.Fatalf("cell %s has empty measurements: %+v", key, p)
+		}
+		if p.Prim == "CAS" && p.Retries > 0 {
+			casRetries = true
+		}
+	}
+	if !casRetries {
+		t.Fatal("no contended CAS cell recorded a retry")
+	}
+}

@@ -99,6 +99,26 @@ func TestNormalizeCanonicalizesIrrelevantFields(t *testing.T) {
 	}
 }
 
+// TestNormalizeWorkloadApps checks the lock-free workload structures are
+// pattern-driven specs: the sharing-pattern fields survive normalization
+// (and default like the synthetics), while tclosure's size is zeroed.
+func TestNormalizeWorkloadApps(t *testing.T) {
+	for _, app := range []string{"msqueue", "stack", "rcu", "tournament", "dissemination"} {
+		sp, err := Spec{App: app, Size: 20}.Normalize()
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if sp.Contention != 1 || sp.WriteRun != 1 || sp.Rounds != 6 || sp.Size != 0 {
+			t.Fatalf("%s normalized to %+v", app, sp)
+		}
+		a, _ := Spec{App: app, Contention: 4}.Normalize()
+		b, _ := Spec{App: app, Contention: 8}.Normalize()
+		if a.Key() == b.Key() {
+			t.Fatalf("%s: distinct contention levels share a key", app)
+		}
+	}
+}
+
 // -------------------------------------------------------------- handler --
 
 func TestSimMissThenHitByteIdentical(t *testing.T) {

@@ -33,7 +33,7 @@ import (
 // types. The zero value of every field selects a documented default, so
 // `{}` is a valid spec (the reduced-scale lock-free counter under INV/FAP).
 type Spec struct {
-	App     string `json:"app,omitempty"`    // counter, tts, mcs, tclosure, locusroute, cholesky
+	App     string `json:"app,omitempty"`    // counter, tts, mcs, tclosure, locusroute, cholesky, msqueue, stack, rcu, tournament, dissemination
 	Policy  string `json:"policy,omitempty"` // INV, UPD, UNC
 	Prim    string `json:"prim,omitempty"`   // FAP, CAS, LLSC
 	Variant string `json:"cas,omitempty"`    // INV, INVd, INVs (CAS implementation)
@@ -80,7 +80,12 @@ func (s Spec) Normalize() (Spec, error) {
 	if err != nil {
 		return s, err
 	}
-	synthetic := app.Synthetic()
+	// Pattern parameters apply to the synthetic counters and to every
+	// workload-library structure; the real apps zero them so equivalent
+	// requests share one cache key. Existing apps keep byte-identical
+	// canonical forms (PatternDriven == Synthetic for them), so no cached
+	// result or cross-version fill is invalidated.
+	patternDriven := app.PatternDriven()
 	if s.Policy == "" {
 		s.Policy = "INV"
 	}
@@ -105,7 +110,7 @@ func (s Spec) Normalize() (Spec, error) {
 	if s.Procs < 1 || s.Procs > MaxProcs {
 		return s, fmt.Errorf("procs %d out of range 1-%d", s.Procs, MaxProcs)
 	}
-	if synthetic {
+	if patternDriven {
 		if s.Contention == 0 {
 			s.Contention = 1
 		}

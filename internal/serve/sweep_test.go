@@ -162,3 +162,61 @@ func TestSweepRejects(t *testing.T) {
 		t.Errorf("GET /v1/sweep status = %d", w.Code)
 	}
 }
+
+// workloadPlan sweeps one lock-free workload structure per line — the new
+// exper.App values riding through the serve layer with no serve-side
+// dispatch changes.
+const workloadPlan = `{"points":[
+	{"app":"msqueue","prim":"CAS","procs":4,"c":2,"rounds":2},
+	{"app":"stack","prim":"LLSC","procs":4,"c":2,"rounds":2},
+	{"app":"rcu","policy":"UPD","prim":"CAS","procs":4,"rounds":2},
+	{"app":"tournament","prim":"FAP","procs":4,"c":2,"rounds":2},
+	{"app":"dissemination","prim":"LLSC","procs":4,"c":2,"rounds":2}
+]}`
+
+// TestSweepWorkloadAppsMissThenHit drives the workload library through
+// /v1/sweep: a cold plan simulates every point, a re-POST is served
+// entirely from cache, and the bodies are byte-identical — the same
+// contract the synthetic apps are held to.
+func TestSweepWorkloadAppsMissThenHit(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	first := doSweep(s, workloadPlan)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first sweep status = %d: %s", first.Code, first.Body.String())
+	}
+	if h := first.Header().Get("X-Sweep-Hits"); h != "0" {
+		t.Fatalf("cold sweep X-Sweep-Hits = %q, want 0", h)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(first.Body.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != 5 {
+		t.Fatalf("got %d NDJSON lines, want 5:\n%s", len(lines), first.Body.String())
+	}
+	// Each line is byte-identical to the single-sim response for its spec.
+	singles := []string{
+		`{"app":"msqueue","prim":"CAS","procs":4,"c":2,"rounds":2}`,
+		`{"app":"stack","prim":"LLSC","procs":4,"c":2,"rounds":2}`,
+		`{"app":"rcu","policy":"UPD","prim":"CAS","procs":4,"rounds":2}`,
+		`{"app":"tournament","prim":"FAP","procs":4,"c":2,"rounds":2}`,
+		`{"app":"dissemination","prim":"LLSC","procs":4,"c":2,"rounds":2}`,
+	}
+	for i, spec := range singles {
+		sw := doJSON(s, spec)
+		if sw.Code != http.StatusOK {
+			t.Fatalf("single sim %d status = %d: %s", i, sw.Code, sw.Body.String())
+		}
+		if !bytes.Equal(lines[i], bytes.TrimSuffix(sw.Body.Bytes(), []byte("\n"))) {
+			t.Fatalf("sweep line %d differs from single /v1/sim body:\n%s\n--- vs ---\n%s",
+				i, lines[i], sw.Body.Bytes())
+		}
+	}
+	second := doSweep(s, workloadPlan)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second sweep status = %d", second.Code)
+	}
+	if h := second.Header().Get("X-Sweep-Hits"); h != "5" {
+		t.Fatalf("re-POST X-Sweep-Hits = %q, want 5", h)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("re-POSTed workload sweep body differs from the first")
+	}
+}
