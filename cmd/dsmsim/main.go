@@ -13,6 +13,9 @@
 //	dsmsim -app msqueue -prim CAS -c 8
 //	dsmsim -app rcu -policy UPD -prim LLSC -c 2
 //
+// With -dump-protocol the coherence transition tables (internal/proto)
+// are printed in a stable human-readable form and no simulation runs.
+//
 // Unknown -app/-policy/-prim/-cas values are rejected with a usage message
 // and exit status 2.
 package main
@@ -23,6 +26,7 @@ import (
 	"os"
 
 	"dsm/internal/exper"
+	"dsm/internal/proto"
 	"dsm/internal/report"
 	"dsm/internal/trace"
 )
@@ -68,8 +72,17 @@ func main() {
 		size    = flag.Int("size", 32, "transitive-closure vertices")
 		traceN  = flag.Int("trace", 0, "print the last N protocol events")
 		asJSON  = flag.Bool("json", false, "emit the measurement report as JSON on stdout")
+		dumpPro = flag.Bool("dump-protocol", false, "print the coherence transition tables and exit")
 	)
 	flag.Parse()
+
+	if *dumpPro {
+		if err := proto.WriteTables(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "dsmsim: %v\n", err)

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"os"
 	"strings"
 	"testing"
 
 	"dsm/internal/core"
 	"dsm/internal/locks"
+	"dsm/internal/proto"
 )
 
 func TestParseBarAcceptsKnownValues(t *testing.T) {
@@ -56,5 +59,32 @@ func TestValidateApp(t *testing.T) {
 		if err := validateApp(app); err == nil {
 			t.Errorf("validateApp(%q) accepted", app)
 		}
+	}
+}
+
+// TestDumpProtocolGolden pins the -dump-protocol output: the tables are
+// the protocol, so any change to them must show up as a reviewed golden
+// diff. Regenerate with:
+//
+//	go run ./cmd/dsmsim -dump-protocol > cmd/dsmsim/testdata/protocol.txt
+func TestDumpProtocolGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := proto.WriteTables(&buf); err != nil {
+		t.Fatalf("WriteTables: %v", err)
+	}
+	want, err := os.ReadFile("testdata/protocol.txt")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		got := buf.String()
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("protocol dump diverges from golden at line %d:\n got: %q\nwant: %q",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("protocol dump length %d lines, golden %d lines", len(gl), len(wl))
 	}
 }

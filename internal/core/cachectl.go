@@ -6,6 +6,7 @@ import (
 	"dsm/internal/arch"
 	"dsm/internal/cache"
 	"dsm/internal/mesh"
+	"dsm/internal/proto"
 	"dsm/internal/sim"
 	"dsm/internal/stats"
 )
@@ -32,7 +33,10 @@ type txn struct {
 // locally when it can (the computational power for INV-policy atomic
 // primitives lives here), converses with home controllers otherwise, and
 // services incoming coherence traffic (invalidations, recalls, updates,
-// owner-side CAS comparisons).
+// owner-side CAS comparisons). What to do for each (policy, op) start and
+// each incoming message kind is not coded here: it is read from the
+// guarded-action tables in internal/proto (CacheStart, CacheRecv), and
+// this controller interprets them against the real cache array and mesh.
 type CacheCtl struct {
 	sys   *System
 	node  mesh.NodeID
@@ -143,18 +147,20 @@ func (c *CacheCtl) complete(t *txn, r Result) {
 	}
 }
 
-// start dispatches a (possibly retried) request according to the block's
-// policy and the local cache state.
+// start dispatches a (possibly retried) request by interpreting the
+// cache-start table entry for the block's policy and the request's op:
+// perform the entry's cache probe, find the first rule whose guard holds,
+// and run its actions in order.
 func (c *CacheCtl) start(t *txn) {
-	req := t.req
-	switch c.sys.PolicyOf(req.Addr) {
-	case PolicyUNC:
-		c.startUNC(t)
-	case PolicyUPD:
-		c.startUPD(t)
-	default:
-		c.startINV(t)
+	spec := &proto.CacheStart[c.sys.PolicyOf(t.req.Addr)][t.req.Op]
+	var l *cache.Line
+	switch spec.Prep {
+	case proto.PrepLookup:
+		l = c.cache.Lookup(t.req.Addr)
+	case proto.PrepPeek:
+		l = c.cache.Peek(t.req.Addr)
 	}
+	c.runRules(spec.Rules, t, nil, l)
 }
 
 // request constructs the base request message for the transaction.
@@ -174,126 +180,6 @@ func (c *CacheCtl) request(t *txn, kind msgKind) *msg {
 func (c *CacheCtl) toHome(t *txn, kind msgKind) {
 	m := c.request(t, kind)
 	c.sys.send(c.node, c.sys.HomeOf(t.req.Addr), m, true)
-}
-
-// ---------------------------------------------------------------- UNC ----
-
-func (c *CacheCtl) startUNC(t *txn) {
-	switch t.req.Op {
-	case OpDropCopy:
-		// Nothing is cached under UNC.
-		c.complete(t, Result{OK: true})
-	case OpSC:
-		if c.llHintFail {
-			// The preceding LL was refused (limited scheme); fail locally.
-			c.llHintFail = false
-			c.sys.counters.SCFailLocal++
-			c.complete(t, Result{OK: false})
-			return
-		}
-		c.toHome(t, mUncOp)
-	default:
-		c.toHome(t, mUncOp)
-	}
-}
-
-// ---------------------------------------------------------------- UPD ----
-
-func (c *CacheCtl) startUPD(t *txn) {
-	req := t.req
-	switch req.Op {
-	case OpLoad, OpLoadExclusive:
-		// load_exclusive has no meaning under write-update; it behaves as
-		// an ordinary load.
-		if l := c.cache.Lookup(req.Addr); l != nil {
-			c.sys.trackAccess(req.Addr, c.node, req.Op, false)
-			c.complete(t, Result{Value: l.Word(req.Addr), OK: true})
-			return
-		}
-		c.toHome(t, mUpdRead)
-	case OpDropCopy:
-		if c.cache.Invalidate(req.Addr) != nil {
-			m := c.request(t, mDropS)
-			c.sys.send(c.node, c.sys.HomeOf(req.Addr), m, true)
-		}
-		c.complete(t, Result{OK: true})
-	case OpSC:
-		if c.llHintFail {
-			c.llHintFail = false
-			c.sys.counters.SCFailLocal++
-			c.complete(t, Result{OK: false})
-			return
-		}
-		c.toHome(t, mUpdOp)
-	default:
-		// Stores, fetch_and_Φ, CAS, LL: executed at the home memory.
-		c.toHome(t, mUpdOp)
-	}
-}
-
-// ---------------------------------------------------------------- INV ----
-
-func (c *CacheCtl) startINV(t *txn) {
-	req := t.req
-	l := c.cache.Lookup(req.Addr)
-	switch req.Op {
-	case OpLoad:
-		if l != nil {
-			c.sys.trackAccess(req.Addr, c.node, req.Op, false)
-			c.complete(t, Result{Value: l.Word(req.Addr), OK: true})
-			return
-		}
-		c.toHome(t, mRead)
-
-	case OpLL:
-		if l != nil {
-			c.cache.SetReservation(req.Addr)
-			c.sys.trackAccess(req.Addr, c.node, req.Op, false)
-			c.complete(t, Result{Value: l.Word(req.Addr), OK: true})
-			return
-		}
-		// LL acquires a shared copy; an exclusive LL invites livelock.
-		c.toHome(t, mRead)
-
-	case OpSC:
-		if !c.cache.ReservedOn(req.Addr) {
-			c.sys.counters.SCFailLocal++
-			c.complete(t, Result{OK: false})
-			return
-		}
-		if l != nil && l.State == cache.ExclusiveRW {
-			// Reservation valid and line exclusive: succeed locally.
-			c.localExec(t, l)
-			return
-		}
-		c.toHome(t, mSCHome)
-
-	case OpDropCopy:
-		c.dropINV(req.Addr)
-		c.complete(t, Result{OK: true})
-
-	case OpCAS:
-		if l != nil && l.State == cache.ExclusiveRW {
-			c.localExec(t, l)
-			return
-		}
-		if c.sys.cfg.CAS != CASPlain {
-			// INVd/INVs: compare at the home or owner.
-			c.toHome(t, mCASHome)
-			return
-		}
-		c.toHome(t, mReadEx)
-
-	case OpStore, OpLoadExclusive, OpFetchAdd, OpFetchStore, OpFetchOr, OpTestAndSet:
-		if l != nil && l.State == cache.ExclusiveRW {
-			c.localExec(t, l)
-			return
-		}
-		c.toHome(t, mReadEx)
-
-	default:
-		panic(fmt.Sprintf("core: unhandled op %v", req.Op))
-	}
 }
 
 // dropINV implements drop_copy for an INV-policy block: a dirty line is
@@ -403,48 +289,33 @@ func (c *CacheCtl) retry(t *txn) {
 	c.sys.eng.After(delay, c.startFn)
 }
 
-// receive dispatches an incoming protocol message. The cache controller
-// consumes every message it is delivered (responses are built eagerly, not
-// captured in callbacks), so the message is recycled when dispatch returns.
+// receive dispatches an incoming protocol message by interpreting its
+// cache-receive table entry: resolve the outstanding transaction when the
+// entry marks the kind as a reply, perform the entry's cache probe, and
+// run the first matching rule. The cache controller consumes every message
+// it is delivered (responses are built eagerly, not captured in
+// callbacks), so the message is recycled when the rule finishes.
 func (c *CacheCtl) receive(m *msg) {
-	switch m.kind {
-	case mInval:
-		c.handleInval(m)
-	case mRecallE, mRecallS:
-		c.handleRecall(m)
-	case mCASFwd:
-		c.handleCASFwd(m)
-	case mUpdate:
-		c.handleUpdate(m)
-	case mInvAck, mUpdAck:
-		c.handleAck(m)
-	case mNak:
-		t := c.mustPending(m)
-		c.sys.counters.Naks++
-		c.retry(t)
-	case mDataS:
-		c.handleDataS(m)
-	case mDataE:
-		c.handleDataE(m)
-	case mCASFail:
-		c.handleCASFail(m)
-	case mSCFail:
-		t := c.mustPending(m)
-		c.cache.ClearReservation()
-		c.complete(t, Result{OK: false, Chain: m.chain})
-	case mUncReply:
-		c.handleUncReply(m)
-	case mUpdReply:
-		c.handleUpdReply(m)
-	default:
+	spec := &proto.CacheRecv[m.kind]
+	if len(spec.Rules) == 0 {
 		panic(fmt.Sprintf("core: cache %d received %v", c.node, m.kind))
 	}
+	var t *txn
+	if spec.NeedTxn {
+		t = c.mustPending(m)
+	}
+	var l *cache.Line
+	if spec.Prep == proto.PrepPeek {
+		l = c.cache.Peek(m.addr)
+	}
+	c.runRules(spec.Rules, t, m, l)
 	c.sys.freeMsg(m)
 }
 
 // mustPending returns the outstanding transaction, which must exist and
-// match the reply's address: the protocol delivers replies only for the
-// single outstanding request.
+// match the reply's address: the table entries marked NeedTxn are replies,
+// and the protocol delivers replies only for the single outstanding
+// request.
 func (c *CacheCtl) mustPending(m *msg) *txn {
 	if c.pending == nil {
 		panic(fmt.Sprintf("core: node %d got %v with no pending txn", c.node, m.kind))
@@ -456,151 +327,249 @@ func (c *CacheCtl) mustPending(m *msg) *txn {
 	return c.pending
 }
 
-func (c *CacheCtl) handleInval(m *msg) {
-	// Invalidate if present (this also clears a matching LL reservation)
-	// and acknowledge to the requester unconditionally: our copy may
-	// already be gone if our drop/replacement hint is still in flight.
-	v := c.cache.Invalidate(m.addr)
-	if v != nil && v.State == cache.ExclusiveRW {
-		panic(fmt.Sprintf("core: node %d invalidated while owning %#x", c.node, m.addr))
-	}
-	ack := c.sys.newMsg()
-	*ack = msg{kind: mInvAck, addr: m.addr, requester: m.requester, chain: m.chain}
-	c.sendLater(ack, m.requester, false)
-}
-
-func (c *CacheCtl) handleRecall(m *msg) {
-	l := c.cache.Peek(m.addr)
-	home := c.sys.HomeOf(m.addr)
-	if l == nil || l.State != cache.ExclusiveRW {
-		// Our write-back or drop is in flight; tell the home to wait for it.
-		nak := c.sys.newMsg()
-		*nak = msg{kind: mRecallNak, addr: m.addr, requester: m.requester, chain: m.chain}
-		c.sys.send(c.node, home, nak, true)
+// runRules fires the first rule whose guard holds and executes its actions
+// left to right. Falling off the end is a protocol error: the tables must
+// enumerate every reachable case.
+func (c *CacheCtl) runRules(rules []proto.Rule, t *txn, m *msg, l *cache.Line) {
+	for i := range rules {
+		if !c.guard(rules[i].Guard, t, m, l) {
+			continue
+		}
+		for _, a := range rules[i].Actions {
+			l = c.apply(a, t, m, l)
+		}
 		return
 	}
-	reply := c.sys.newMsg()
-	*reply = msg{addr: m.addr, requester: m.requester, data: l.Data, hasData: true, chain: m.chain}
-	if m.kind == mRecallE {
+	if m != nil {
+		panic(fmt.Sprintf("core: cache %d: no rule for %v", c.node, m.kind))
+	}
+	panic(fmt.Sprintf("core: cache %d: no rule to start %v", c.node, t.req.Op))
+}
+
+// guard evaluates one predicate against the controller's local view: the
+// probed line l, the outstanding transaction t, the incoming message m,
+// and the system configuration. Guards a table entry cannot reach may be
+// passed nil operands.
+func (c *CacheCtl) guard(g proto.CacheGuard, t *txn, m *msg, l *cache.Line) bool {
+	switch g {
+	case proto.GAlways:
+		return true
+	case proto.GHit:
+		return l != nil
+	case proto.GOwned:
+		return l != nil && l.State == cache.ExclusiveRW
+	case proto.GNotOwned:
+		return l == nil || l.State != cache.ExclusiveRW
+	case proto.GLLHintFail:
+		return c.llHintFail
+	case proto.GNoResv:
+		return !c.cache.ReservedOn(t.req.Addr)
+	case proto.GCASRemote:
+		return c.sys.cfg.CAS != CASPlain
+	case proto.GCASMatch:
+		return l.Word(m.addr) == m.forwardVal
+	case proto.GCASShare:
+		return c.sys.cfg.CAS == CASShare
+	case proto.GOpRead:
+		return t.req.Op == OpLoad || t.req.Op == OpLoadExclusive
+	case proto.GOpLL:
+		return t.req.Op == OpLL
+	case proto.GOpSC:
+		return t.req.Op == OpSC
+	}
+	panic(fmt.Sprintf("core: cache %d: unknown guard %v", c.node, g))
+}
+
+// apply executes one table action. It returns the (possibly re-bound)
+// probed line so a fill action can hand the fresh line to the actions
+// after it.
+func (c *CacheCtl) apply(a proto.Act, t *txn, m *msg, l *cache.Line) *cache.Line {
+	switch a.Do {
+	case proto.ACompleteOK:
+		c.complete(t, Result{OK: true})
+
+	case proto.ACompleteFail:
+		c.complete(t, Result{OK: false})
+
+	case proto.ACompleteHit:
+		c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, false)
+		c.complete(t, Result{Value: l.Word(t.req.Addr), OK: true})
+
+	case proto.ACountSCFail:
+		c.sys.counters.SCFailLocal++
+
+	case proto.AClearLLHint:
+		c.llHintFail = false
+
+	case proto.ASetResv:
+		c.cache.SetReservation(t.req.Addr)
+
+	case proto.ASendHome:
+		c.toHome(t, a.Msg)
+
+	case proto.ALocalExec:
+		c.localExec(t, l)
+
+	case proto.AEvictLine:
+		c.dropINV(t.req.Addr)
+
+	case proto.ADropShared:
+		c.cache.Invalidate(t.req.Addr)
+		d := c.request(t, mDropS)
+		c.sys.send(c.node, c.sys.HomeOf(t.req.Addr), d, true)
+
+	case proto.AInvalLine:
+		// Invalidate if present (this also clears a matching LL
+		// reservation); our copy may already be gone if our drop or
+		// replacement hint is still in flight.
+		v := c.cache.Invalidate(m.addr)
+		if v != nil && v.State == cache.ExclusiveRW {
+			panic(fmt.Sprintf("core: node %d invalidated while owning %#x", c.node, m.addr))
+		}
+
+	case proto.AAckRequester:
+		ack := c.sys.newMsg()
+		*ack = msg{kind: a.Msg, addr: m.addr, requester: m.requester, chain: m.chain}
+		c.sendLater(ack, m.requester, false)
+
+	case proto.ASurrenderE:
+		reply := c.sys.newMsg()
+		*reply = msg{kind: mWBRecall, addr: m.addr, requester: m.requester,
+			data: l.Data, hasData: true, chain: m.chain}
 		c.cache.Invalidate(m.addr)
-		reply.kind = mWBRecall
-	} else {
-		c.cache.Downgrade(m.addr)
-		reply.kind = mWBShare
-	}
-	c.sys.counters.Writebacks++
-	c.sendLater(reply, home, true)
-}
+		c.sys.counters.Writebacks++
+		c.sendLater(reply, c.sys.HomeOf(m.addr), true)
 
-// handleCASFwd performs the owner-side comparison of the INVd/INVs
-// compare_and_swap variants.
-func (c *CacheCtl) handleCASFwd(m *msg) {
-	l := c.cache.Peek(m.addr)
-	home := c.sys.HomeOf(m.addr)
-	if l == nil || l.State != cache.ExclusiveRW {
+	case proto.ASurrenderS:
+		reply := c.sys.newMsg()
+		*reply = msg{kind: mWBShare, addr: m.addr, requester: m.requester,
+			data: l.Data, hasData: true, chain: m.chain}
+		c.cache.Downgrade(m.addr)
+		c.sys.counters.Writebacks++
+		c.sendLater(reply, c.sys.HomeOf(m.addr), true)
+
+	case proto.ASendRecallNak:
+		// Our write-back or drop is in flight; tell the home immediately to
+		// wait for it.
 		nak := c.sys.newMsg()
 		*nak = msg{kind: mRecallNak, addr: m.addr, requester: m.requester, chain: m.chain}
-		c.sys.send(c.node, home, nak, true)
-		return
-	}
-	old := l.Word(m.addr)
-	if old == m.forwardVal {
+		c.sys.send(c.node, c.sys.HomeOf(m.addr), nak, true)
+
+	case proto.ACASGive:
 		// Comparison succeeds: surrender the line; the home completes the
 		// grant and the requester performs the swap on its new exclusive
 		// copy, exactly as in plain INV.
 		c.cache.Invalidate(m.addr)
 		c.sys.counters.Writebacks++
 		wb := c.sys.newMsg()
-		*wb = msg{
-			kind: mWBRecall, addr: m.addr, requester: m.requester,
-			data: l.Data, hasData: true, casOK: true, chain: m.chain,
-		}
-		c.sendLater(wb, home, true)
-		return
-	}
-	// Comparison fails: the line stays put.
-	if c.sys.cfg.CAS == CASShare {
-		// INVs: give the requester a read-only copy via the home.
+		*wb = msg{kind: mWBRecall, addr: m.addr, requester: m.requester,
+			data: l.Data, hasData: true, chain: m.chain}
+		c.sendLater(wb, c.sys.HomeOf(m.addr), true)
+
+	case proto.ACASKeepShare:
+		// INVs failure: the line stays put read-only; the requester gets a
+		// read-only copy via the home.
 		c.cache.Downgrade(m.addr)
 		c.sys.counters.Writebacks++
 		wb := c.sys.newMsg()
-		*wb = msg{
-			kind: mWBShare, addr: m.addr, requester: m.requester,
-			data: l.Data, hasData: true, casFail: true, chain: m.chain,
-		}
-		c.sendLater(wb, home, true)
-		return
-	}
-	// INVd: deny directly; separately release the home's busy state.
-	fail := c.sys.newMsg()
-	*fail = msg{kind: mCASFail, addr: m.addr, requester: m.requester, val: old, chain: m.chain}
-	c.sendLater(fail, m.requester, false)
-	rel := c.sys.newMsg()
-	*rel = msg{kind: mCASRel, addr: m.addr, requester: m.requester}
-	c.sendLater(rel, home, true)
-}
+		*wb = msg{kind: mWBShare, addr: m.addr, requester: m.requester,
+			data: l.Data, hasData: true, chain: m.chain}
+		c.sendLater(wb, c.sys.HomeOf(m.addr), true)
 
-func (c *CacheCtl) handleUpdate(m *msg) {
-	if l := c.cache.Peek(m.addr); l != nil {
+	case proto.ACASDeny:
+		// INVd failure: deny directly; separately release the home's busy
+		// state.
+		fail := c.sys.newMsg()
+		*fail = msg{kind: mCASFail, addr: m.addr, requester: m.requester,
+			val: l.Word(m.addr), chain: m.chain}
+		c.sendLater(fail, m.requester, false)
+		rel := c.sys.newMsg()
+		*rel = msg{kind: mCASRel, addr: m.addr, requester: m.requester}
+		c.sendLater(rel, c.sys.HomeOf(m.addr), true)
+
+	case proto.AApplyUpdate:
 		l.SetWord(m.addr, m.updWord)
-	}
-	ack := c.sys.newMsg()
-	*ack = msg{kind: mUpdAck, addr: m.addr, requester: m.requester, chain: m.chain}
-	c.sendLater(ack, m.requester, false)
-}
 
-func (c *CacheCtl) handleAck(m *msg) {
-	t := c.mustPending(m)
-	t.acks++
-	if m.chain > t.chainMax {
-		t.chainMax = m.chain
-	}
-	c.maybeFinishGranted(t)
-}
+	case proto.ACountNak:
+		c.sys.counters.Naks++
 
-func (c *CacheCtl) handleDataS(m *msg) {
-	t := c.mustPending(m)
-	c.insert(m.addr, cache.SharedRO, m.data)
-	if m.chain > t.chainMax {
-		t.chainMax = m.chain
-	}
-	req := t.req
-	switch req.Op {
-	case OpLoad, OpLoadExclusive:
-		// load_exclusive reaches here only under UPD, where it degrades
-		// to an ordinary load (no exclusive copies exist).
-		c.sys.trackAccess(req.Addr, c.node, req.Op, false)
-		c.complete(t, Result{Value: m.data[arch.WordIndex(req.Addr)], OK: true, Chain: t.chainMax})
-	case OpLL:
-		c.cache.SetReservation(req.Addr)
-		c.sys.trackAccess(req.Addr, c.node, req.Op, false)
-		c.complete(t, Result{Value: m.data[arch.WordIndex(req.Addr)], OK: true, Chain: t.chainMax})
-	default:
-		panic(fmt.Sprintf("core: node %d got data-s for %v", c.node, req.Op))
-	}
-}
+	case proto.ARetry:
+		c.retry(t)
 
-func (c *CacheCtl) handleDataE(m *msg) {
-	t := c.mustPending(m)
-	t.granted = true
-	t.needAcks = m.acks
-	if m.chain > t.chainMax {
-		t.chainMax = m.chain
-	}
-	// Fill the line and apply the operation now: the data is coherent at
-	// grant time and a recall may arrive before the invalidation acks do.
-	l := c.insert(m.addr, cache.ExclusiveRW, m.data)
-	if t.req.Op == OpSC {
+	case proto.ABumpAck:
+		t.acks++
+
+	case proto.AMergeChain:
+		if m.chain > t.chainMax {
+			t.chainMax = m.chain
+		}
+
+	case proto.AGrant:
+		t.granted = true
+		t.needAcks = m.acks
+
+	case proto.AFillShared:
+		c.insert(m.addr, cache.SharedRO, m.data)
+
+	case proto.AFillIfData:
+		if m.hasData {
+			// INVs / UPD: a read-only copy accompanies the reply. Fill it
+			// now: update messages from later writes may arrive before the
+			// acknowledgments for ours do, and they must land on this copy,
+			// not under it.
+			c.insert(m.addr, cache.SharedRO, m.data)
+		}
+
+	case proto.AFillExclusive:
+		// Fill and apply at grant time: the data is coherent now and a
+		// recall may arrive before the invalidation acks do.
+		l = c.insert(m.addr, cache.ExclusiveRW, m.data)
+
+	case proto.ASCApply:
 		// The home validated the reservation and invalidated the other
 		// sharers; apply the conditional store.
 		l.SetWord(t.req.Addr, t.req.Val)
 		c.cache.ClearReservation()
 		c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, true)
 		t.result = Result{Value: m.data[arch.WordIndex(t.req.Addr)], OK: true}
-	} else {
+
+	case proto.AExecLine:
 		t.result = c.execOnLine(t.req, l)
+
+	case proto.AHintIfLL:
+		if t.req.Op == OpLL && m.hint {
+			c.llHintFail = true
+		}
+
+	case proto.AStashReply:
+		wrote := t.req.Op.Writes() && m.ok
+		c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, wrote)
+		t.result = Result{Value: m.val, OK: m.ok, Serial: m.serial, Hint: m.hint}
+
+	case proto.ACompleteData:
+		c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, false)
+		c.complete(t, Result{Value: m.data[arch.WordIndex(t.req.Addr)], OK: true, Chain: t.chainMax})
+
+	case proto.ACompleteCASFail:
+		c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, false)
+		c.complete(t, Result{Value: m.val, OK: false, Chain: t.chainMax})
+
+	case proto.ACompleteSCFail:
+		c.cache.ClearReservation()
+		c.complete(t, Result{OK: false, Chain: m.chain})
+
+	case proto.ACompleteReply:
+		wrote := t.req.Op.Writes() && m.ok
+		c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, wrote)
+		c.complete(t, Result{Value: m.val, OK: m.ok, Serial: m.serial, Hint: m.hint, Chain: t.chainMax})
+
+	case proto.AMaybeFinish:
+		c.maybeFinishGranted(t)
+
+	default:
+		panic(fmt.Sprintf("core: cache %d: unknown action %v", c.node, a.Do))
 	}
-	c.maybeFinishGranted(t)
+	return l
 }
 
 // maybeFinishGranted delivers the already-computed result once the grant
@@ -615,52 +584,4 @@ func (c *CacheCtl) maybeFinishGranted(t *txn) {
 	r := t.result
 	r.Chain = t.chainMax
 	c.complete(t, r)
-}
-
-func (c *CacheCtl) handleCASFail(m *msg) {
-	t := c.mustPending(m)
-	if m.chain > t.chainMax {
-		t.chainMax = m.chain
-	}
-	if m.hasData {
-		// INVs: a read-only copy accompanies the failure.
-		c.insert(m.addr, cache.SharedRO, m.data)
-	}
-	c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, false)
-	c.complete(t, Result{Value: m.val, OK: false, Chain: t.chainMax})
-}
-
-func (c *CacheCtl) handleUncReply(m *msg) {
-	t := c.mustPending(m)
-	if m.chain > t.chainMax {
-		t.chainMax = m.chain
-	}
-	if t.req.Op == OpLL && m.hint {
-		c.llHintFail = true
-	}
-	wrote := t.req.Op.writes() && m.ok
-	c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, wrote)
-	c.complete(t, Result{Value: m.val, OK: m.ok, Serial: m.serial, Hint: m.hint, Chain: t.chainMax})
-}
-
-func (c *CacheCtl) handleUpdReply(m *msg) {
-	t := c.mustPending(m)
-	t.granted = true
-	t.needAcks = m.acks
-	if m.chain > t.chainMax {
-		t.chainMax = m.chain
-	}
-	if m.hasData {
-		// Fill the shared copy now: update messages from later writes may
-		// arrive before the acknowledgments for ours do, and they must
-		// land on this copy, not under it.
-		c.insert(m.addr, cache.SharedRO, m.data)
-	}
-	if t.req.Op == OpLL && m.hint {
-		c.llHintFail = true
-	}
-	wrote := t.req.Op.writes() && m.ok
-	c.sys.trackAccess(t.req.Addr, c.node, t.req.Op, wrote)
-	t.result = Result{Value: m.val, OK: m.ok, Serial: m.serial, Hint: m.hint}
-	c.maybeFinishGranted(t)
 }

@@ -19,7 +19,13 @@
 //
 // The protocols are home-centric DASH-style directory protocols with
 // negative acknowledgments and requester retry for transient states, over
-// the substrates in internal/{cache,dir,mem,mesh,sim}.
+// the substrates in internal/{cache,dir,mem,mesh,sim}. The protocol itself
+// — which (state, event) pairs are legal and what each one does — is not
+// coded here: it lives as guarded-action transition tables in
+// internal/proto, and CacheCtl/HomeCtl are interpreters that bind the
+// tables' closed action vocabulary to the simulated machine (cache arrays,
+// directory, memory, mesh). internal/proto/mc binds the same tables to an
+// abstract state instead and model-checks them exhaustively.
 package core
 
 import (
@@ -30,118 +36,41 @@ import (
 	"dsm/internal/dir"
 	"dsm/internal/mem"
 	"dsm/internal/mesh"
+	"dsm/internal/proto"
 	"dsm/internal/sim"
 	"dsm/internal/stats"
 )
 
-// Policy is the coherence policy applied to a block of atomically accessed
-// data. Ordinary data always uses PolicyINV (the machine's base protocol).
-type Policy uint8
-
-const (
-	// PolicyINV caches sync data under write-invalidate; atomic operations
-	// execute in the cache controller on an exclusive copy.
-	PolicyINV Policy = iota
-	// PolicyUPD caches sync data read-only under write-update; atomic
-	// operations execute at the home memory, which multicasts updates.
-	PolicyUPD
-	// PolicyUNC disables caching; all operations execute at the home
-	// memory.
-	PolicyUNC
+// The protocol vocabulary — policies, compare_and_swap variants, operation
+// kinds — is owned by internal/proto together with the transition tables;
+// core re-exports the names so existing callers are unaffected.
+type (
+	Policy     = proto.Policy
+	CASVariant = proto.CASVariant
+	OpKind     = proto.OpKind
 )
 
-// String returns the name used in figures ("INV", "UPD", "UNC").
-func (p Policy) String() string {
-	switch p {
-	case PolicyINV:
-		return "INV"
-	case PolicyUPD:
-		return "UPD"
-	case PolicyUNC:
-		return "UNC"
-	}
-	return fmt.Sprintf("Policy(%d)", uint8(p))
-}
-
-// CASVariant selects among the paper's INV-policy compare_and_swap
-// implementations.
-type CASVariant uint8
-
 const (
-	// CASPlain always migrates an exclusive copy to the requester (INV).
-	CASPlain CASVariant = iota
-	// CASDeny (INVd) compares at the home or owner; on failure the
-	// requester gets no cached copy.
-	CASDeny
-	// CASShare (INVs) compares at the home or owner; on failure the
-	// requester gets a read-only copy.
-	CASShare
+	PolicyINV = proto.PolicyINV
+	PolicyUPD = proto.PolicyUPD
+	PolicyUNC = proto.PolicyUNC
+
+	CASPlain = proto.CASPlain
+	CASDeny  = proto.CASDeny
+	CASShare = proto.CASShare
+
+	OpLoad          = proto.OpLoad
+	OpStore         = proto.OpStore
+	OpLoadExclusive = proto.OpLoadExclusive
+	OpDropCopy      = proto.OpDropCopy
+	OpFetchAdd      = proto.OpFetchAdd
+	OpFetchStore    = proto.OpFetchStore
+	OpFetchOr       = proto.OpFetchOr
+	OpTestAndSet    = proto.OpTestAndSet
+	OpCAS           = proto.OpCAS
+	OpLL            = proto.OpLL
+	OpSC            = proto.OpSC
 )
-
-// String returns the name used in figures.
-func (v CASVariant) String() string {
-	switch v {
-	case CASPlain:
-		return "INV"
-	case CASDeny:
-		return "INVd"
-	case CASShare:
-		return "INVs"
-	}
-	return fmt.Sprintf("CASVariant(%d)", uint8(v))
-}
-
-// OpKind identifies a processor-issued memory operation.
-type OpKind uint8
-
-const (
-	OpLoad OpKind = iota
-	OpStore
-	OpLoadExclusive
-	OpDropCopy
-	OpFetchAdd
-	OpFetchStore
-	OpFetchOr
-	OpTestAndSet
-	OpCAS
-	OpLL
-	OpSC
-)
-
-var opNames = [...]string{
-	OpLoad: "load", OpStore: "store", OpLoadExclusive: "load_exclusive",
-	OpDropCopy: "drop_copy", OpFetchAdd: "fetch_and_add",
-	OpFetchStore: "fetch_and_store", OpFetchOr: "fetch_and_or",
-	OpTestAndSet: "test_and_set", OpCAS: "compare_and_swap",
-	OpLL: "load_linked", OpSC: "store_conditional",
-}
-
-// String returns the primitive's conventional name.
-func (o OpKind) String() string {
-	if int(o) < len(opNames) {
-		return opNames[o]
-	}
-	return fmt.Sprintf("OpKind(%d)", uint8(o))
-}
-
-// IsAtomic reports whether the operation is one of the atomic primitives
-// (as opposed to an ordinary load/store or auxiliary instruction).
-func (o OpKind) IsAtomic() bool {
-	switch o {
-	case OpFetchAdd, OpFetchStore, OpFetchOr, OpTestAndSet, OpCAS, OpLL, OpSC:
-		return true
-	}
-	return false
-}
-
-// writes reports whether the operation (when it succeeds) writes memory.
-func (o OpKind) writes() bool {
-	switch o {
-	case OpStore, OpFetchAdd, OpFetchStore, OpFetchOr, OpTestAndSet, OpCAS, OpSC:
-		return true
-	}
-	return false
-}
 
 // Request is one processor-issued memory operation handed to the node's
 // cache controller. Exactly one request per processor may be outstanding.
@@ -293,7 +222,7 @@ func NewSystem(eng *sim.Engine, net *mesh.Mesh, cfg Config) *System {
 		cfg:  cfg,
 		eng:  eng,
 		mesh: net,
-		chains: stats.NewChainGrid(len(opNames), 3, func(op, pol int) string {
+		chains: stats.NewChainGrid(proto.NumOps, proto.NumPolicies, func(op, pol int) string {
 			return OpKind(op).String() + "/" + Policy(pol).String()
 		}),
 		contention: stats.NewContentionTracker(),

@@ -7,6 +7,7 @@ import (
 	"dsm/internal/dir"
 	"dsm/internal/mem"
 	"dsm/internal/mesh"
+	"dsm/internal/proto"
 )
 
 // homeTxn is the home controller's per-block transient state: an
@@ -21,7 +22,11 @@ type homeTxn struct {
 
 // HomeCtl is one node's memory/directory controller: the serialization
 // point for its share of the address space, and the locus of computational
-// power for the UPD and UNC implementations of the atomic primitives.
+// power for the UPD and UNC implementations of the atomic primitives. Like
+// the cache controller, it carries no protocol logic of its own: requests
+// and data returns are dispatched through the guarded-action tables in
+// internal/proto (HomeReq, HomeRet), interpreted against the real
+// directory and memory module.
 type HomeCtl struct {
 	sys  *System
 	node mesh.NodeID
@@ -39,6 +44,21 @@ type HomeCtl struct {
 	// retained marks that the request handler took ownership of the message
 	// it was dispatched (recall stored it in busy); see dispatchRequest.
 	retained bool
+
+	// Reply scratch, filled by the exec-mem action and consumed by the
+	// unc-reply / upd-fanout / upd-reply actions later in the same rule.
+	// Fields instead of an interpreter-local result struct keep the hot
+	// path allocation-free.
+	exVal    arch.Word
+	exOK     bool
+	exWrote  bool
+	exSerial arch.Word
+	exHint   bool
+	exAcks   int
+
+	// replay holds the retained request released by an accept action for
+	// the replay action that follows it in the same rule.
+	replay *msg
 }
 
 func (h *HomeCtl) init(s *System, n mesh.NodeID) {
@@ -65,6 +85,7 @@ func (h *HomeCtl) reset() {
 		delete(h.busy, base)
 	}
 	h.retained = false
+	h.replay = nil
 }
 
 // Node returns the controller's node id.
@@ -83,26 +104,20 @@ func (h *HomeCtl) receive(m *msg) {
 	h.mod.AccessArg(h.processHook, m)
 }
 
-// process dispatches one message and recycles it. Request kinds go through
-// dispatchRequest, which knows a recall may retain the request; every other
-// kind is fully consumed here.
+// process dispatches one message through the home's transition tables and
+// recycles it. Request kinds go through dispatchRequest, which knows a
+// recall may retain the request; every other kind is fully consumed here.
 func (h *HomeCtl) process(m *msg) {
 	base := arch.BlockBase(m.addr)
-	switch m.kind {
-	case mRead, mReadEx, mSCHome, mCASHome, mUncOp, mUpdRead, mUpdOp:
+	if m.kind.IsRequest() {
 		h.dispatchRequest(m, base)
 		return
-	case mWB, mWBRecall, mWBShare:
-		h.handleDataReturn(m, base)
-	case mDropS:
-		h.handleDropS(m, base)
-	case mRecallNak:
-		h.handleRecallNak(m, base)
-	case mCASRel:
-		h.handleCASRel(m, base)
-	default:
+	}
+	rules := proto.HomeRet[m.kind]
+	if rules == nil {
 		panic(fmt.Sprintf("core: home %d received %v", h.node, m.kind))
 	}
+	h.runRules(rules, m, base, nil)
 	h.sys.freeMsg(m)
 }
 
@@ -113,6 +128,251 @@ func (h *HomeCtl) dispatchRequest(m *msg, base arch.Addr) {
 	h.handleRequest(m, base)
 	if !h.retained {
 		h.sys.freeMsg(m)
+	}
+}
+
+// handleRequest interprets the home-request table row selected by the
+// block's state: a busy block refuses every request (the HBusy row, which
+// never touches the directory); otherwise the directory entry's state
+// picks the row, and the entry invariants are re-checked after the rule's
+// actions run.
+func (h *HomeCtl) handleRequest(m *msg, base arch.Addr) {
+	if _, inFlight := h.busy[base]; inFlight {
+		h.runRules(proto.HomeReq[proto.HBusy][m.kind], m, base, nil)
+		return
+	}
+	e := h.dir.Entry(base)
+	defer e.Check(base)
+	var st proto.HomeState
+	switch e.State {
+	case dir.Unowned:
+		st = proto.HUnowned
+	case dir.Shared:
+		st = proto.HShared
+	case dir.Exclusive:
+		st = proto.HExclusive
+	default:
+		panic(fmt.Sprintf("core: home %d: directory state %v for %#x", h.node, e.State, base))
+	}
+	h.runRules(proto.HomeReq[st][m.kind], m, base, e)
+}
+
+// runRules fires the first rule whose guard holds and executes its actions
+// in order. A matching rule with no actions is an explicit stale-message
+// ignore; no matching rule is a protocol error.
+func (h *HomeCtl) runRules(rules []proto.HRule, m *msg, base arch.Addr, e *dir.Entry) {
+	for i := range rules {
+		if !h.guard(rules[i].Guard, m, base, e) {
+			continue
+		}
+		for _, a := range rules[i].Actions {
+			h.apply(a, m, base, e)
+		}
+		return
+	}
+	panic(fmt.Sprintf("core: home %d: no rule for %v", h.node, m.kind))
+}
+
+// guard evaluates one predicate against the directory entry, the busy map,
+// the incoming message, and the system configuration. Guards a table row
+// cannot reach may be passed a nil entry.
+func (h *HomeCtl) guard(g proto.HomeGuard, m *msg, base arch.Addr, e *dir.Entry) bool {
+	switch g {
+	case proto.HGAlways:
+		return true
+	case proto.HGOwnerIsReq:
+		return e.Owner == m.requester
+	case proto.HGSharerHasReq:
+		return e.Sharers.Has(m.requester)
+	case proto.HGCASMatch:
+		return h.mod.ReadWord(m.addr) == m.val
+	case proto.HGCASShare:
+		return h.sys.cfg.CAS == CASShare
+	case proto.HGBusyBlock:
+		_, inFlight := h.busy[base]
+		return inFlight
+	case proto.HGFromOwnerOrig:
+		t, inFlight := h.busy[base]
+		return inFlight && t.owner == m.src && t.orig != nil
+	case proto.HGFromOwner:
+		t, inFlight := h.busy[base]
+		return inFlight && t.owner == m.src
+	}
+	panic(fmt.Sprintf("core: home %d: unknown guard %v", h.node, g))
+}
+
+// apply executes one table action. Data-return actions fetch the directory
+// entry themselves (the request path passes it in, already checked).
+func (h *HomeCtl) apply(a proto.HAct, m *msg, base arch.Addr, e *dir.Entry) {
+	switch a.Do {
+	case proto.HNak:
+		h.nak(m)
+
+	case proto.HShareReply:
+		e.State = dir.Shared
+		e.Sharers.Add(m.requester)
+		r := h.sys.newMsg()
+		*r = msg{kind: mDataS, data: h.mod.ReadBlock(base), hasData: true}
+		h.reply(m, r)
+
+	case proto.HGrantE:
+		h.grantExclusive(m, base, e, false)
+
+	case proto.HGrantESC:
+		// No write intervened since the reservation was set (any write
+		// would have invalidated the requester's copy first): succeed.
+		h.grantExclusive(m, base, e, true)
+
+	case proto.HRecall:
+		h.recall(m, base, e.Owner, a.Msg)
+
+	case proto.HSCFail:
+		// Exclusive elsewhere or unowned: fail, per the paper's protocol.
+		r := h.sys.newMsg()
+		*r = msg{kind: mSCFail}
+		h.reply(m, r)
+
+	case proto.HCASFail:
+		fail := h.sys.newMsg()
+		*fail = msg{kind: mCASFail, val: h.mod.ReadWord(m.addr)}
+		h.reply(m, fail)
+
+	case proto.HCASFailShare:
+		// INVs: a failed comparison still hands the requester a read-only
+		// copy, so its next attempt can compare locally.
+		fail := h.sys.newMsg()
+		*fail = msg{kind: mCASFail, val: h.mod.ReadWord(m.addr)}
+		e.State = dir.Shared
+		e.Sharers.Add(m.requester)
+		fail.data = h.mod.ReadBlock(base)
+		fail.hasData = true
+		h.reply(m, fail)
+
+	case proto.HExec:
+		h.exVal, h.exOK, h.exWrote, h.exSerial, h.exHint = h.execMem(e, m)
+		h.exAcks = 0
+
+	case proto.HUncReply:
+		r := h.sys.newMsg()
+		*r = msg{kind: mUncReply, val: h.exVal, ok: h.exOK, serial: h.exSerial, hint: h.exHint}
+		h.reply(m, r)
+
+	case proto.HUpdFanout:
+		newWord := h.mod.ReadWord(m.addr)
+		// Updates go out only when the value actually changed: a write of the
+		// same value (e.g. test_and_set on an already-held lock) leaves every
+		// cached copy correct. This is why, under UPD, "only successful
+		// writes cause updates" (section 4.3.1).
+		if h.exWrote && newWord != h.exVal {
+			targets := e.Sharers
+			targets.Remove(m.requester)
+			h.exAcks = targets.Count()
+			for bits, n := uint64(targets), mesh.NodeID(0); bits != 0; bits, n = bits>>1, n+1 {
+				if bits&1 == 0 {
+					continue
+				}
+				h.sys.counters.Updates++
+				upd := h.sys.newMsg()
+				*upd = msg{
+					kind: mUpdate, addr: m.addr, requester: m.requester,
+					updWord: newWord, chain: m.chain,
+				}
+				h.sys.send(h.node, n, upd, false)
+			}
+		}
+
+	case proto.HUpdReply:
+		// The requester retains (or acquires) a shared copy of the block.
+		e.State = dir.Shared
+		e.Sharers.Add(m.requester)
+		r := h.sys.newMsg()
+		*r = msg{
+			kind: mUpdReply, val: h.exVal, ok: h.exOK, serial: h.exSerial, hint: h.exHint,
+			data: h.mod.ReadBlock(base), hasData: true, acks: h.exAcks,
+		}
+		h.reply(m, r)
+
+	case proto.HAcceptUnowned, proto.HAcceptShare:
+		t := h.busy[base]
+		if m.src != t.owner {
+			panic(fmt.Sprintf("core: home %d got %v for busy %#x from %d, expected %d",
+				h.node, m.kind, base, m.src, t.owner))
+		}
+		ent := h.dir.Entry(base)
+		h.mod.WriteBlock(base, m.data)
+		if a.Do == proto.HAcceptShare {
+			// The owner kept a read-only copy (read recall or INVs fail).
+			ent.State = dir.Shared
+			ent.Sharers = 0
+			ent.Sharers.Add(t.owner)
+			ent.Owner = 0
+		} else {
+			ent.State = dir.Unowned
+			ent.Sharers = 0
+			ent.Owner = 0
+		}
+		delete(h.busy, base)
+		ent.Check(base)
+		h.replay = t.orig
+
+	case proto.HReplay:
+		if h.replay != nil {
+			// Replay the retained request against the refreshed directory
+			// state; the chain accumulated so far carries over, giving the
+			// paper's 4-serialized-message remote-exclusive store path.
+			// dispatchRequest recycles it unless a second recall retains it.
+			orig := h.replay
+			h.replay = nil
+			orig.chain = m.chain
+			h.dispatchRequest(orig, base)
+		}
+
+	case proto.HWriteBack:
+		// Spontaneous write-back from the recorded owner.
+		ent := h.dir.Entry(base)
+		if ent.State != dir.Exclusive || ent.Owner != m.src {
+			panic(fmt.Sprintf("core: home %d got %v for %#x in state %v from %d",
+				h.node, m.kind, base, ent.State, m.src))
+		}
+		if m.kind != mWB {
+			panic(fmt.Sprintf("core: unexpected %v outside a recall", m.kind))
+		}
+		h.mod.WriteBlock(base, m.data)
+		ent.State = dir.Unowned
+		ent.Owner = 0
+		ent.Check(base)
+
+	case proto.HDropSharer:
+		ent := h.dir.Entry(base)
+		// The drop hint may be stale (the sharer was already invalidated or
+		// the block moved on); act only if the sender is still recorded.
+		if ent.State == dir.Shared && ent.Sharers.Has(m.src) {
+			ent.Sharers.Remove(m.src)
+			if ent.Sharers.Empty() {
+				ent.State = dir.Unowned
+			}
+		}
+
+	case proto.HNakOrig:
+		// The owner's copy is already on its way back as a write-back. NAK
+		// the waiting requester (it will retry, per the paper's drop_copy
+		// discussion) and hold the block until the write-back lands.
+		t := h.busy[base]
+		h.nak(t.orig)
+		h.sys.freeMsg(t.orig)
+		t.orig = nil
+		h.busy[base] = t
+
+	case proto.HReleaseBusy:
+		// INVd failure handled entirely at the owner; ownership is unchanged.
+		t := h.busy[base]
+		if t.orig != nil {
+			h.sys.freeMsg(t.orig)
+		}
+		delete(h.busy, base)
+
+	default:
+		panic(fmt.Sprintf("core: home %d: unknown action %v", h.node, a.Do))
 	}
 }
 
@@ -145,70 +405,6 @@ func (h *HomeCtl) recall(m *msg, base arch.Addr, owner mesh.NodeID, kind msgKind
 	h.sys.send(h.node, owner, fwd, false)
 }
 
-func (h *HomeCtl) handleRequest(m *msg, base arch.Addr) {
-	if _, inFlight := h.busy[base]; inFlight {
-		h.nak(m)
-		return
-	}
-	e := h.dir.Entry(base)
-	defer e.Check(base)
-	switch m.kind {
-	case mRead:
-		h.handleRead(m, base, e)
-	case mReadEx:
-		h.handleReadEx(m, base, e)
-	case mSCHome:
-		h.handleSCHome(m, base, e)
-	case mCASHome:
-		h.handleCASHome(m, base, e)
-	case mUncOp:
-		h.handleUncOp(m, base, e)
-	case mUpdRead:
-		h.handleUpdRead(m, base, e)
-	case mUpdOp:
-		h.handleUpdOp(m, base, e)
-	}
-}
-
-// ------------------------------------------------------------- INV ------
-
-func (h *HomeCtl) handleRead(m *msg, base arch.Addr, e *dir.Entry) {
-	switch e.State {
-	case dir.Unowned, dir.Shared:
-		e.State = dir.Shared
-		e.Sharers.Add(m.requester)
-		r := h.sys.newMsg()
-		*r = msg{kind: mDataS, data: h.mod.ReadBlock(base), hasData: true}
-		h.reply(m, r)
-	case dir.Exclusive:
-		if e.Owner == m.requester {
-			// The requester's write-back is in flight; retry until it lands.
-			h.nak(m)
-			return
-		}
-		h.recall(m, base, e.Owner, mRecallS)
-	default:
-		h.nak(m)
-	}
-}
-
-func (h *HomeCtl) handleReadEx(m *msg, base arch.Addr, e *dir.Entry) {
-	switch e.State {
-	case dir.Unowned:
-		h.grantExclusive(m, base, e, false)
-	case dir.Shared:
-		h.grantExclusive(m, base, e, false)
-	case dir.Exclusive:
-		if e.Owner == m.requester {
-			h.nak(m)
-			return
-		}
-		h.recall(m, base, e.Owner, mRecallE)
-	default:
-		h.nak(m)
-	}
-}
-
 // grantExclusive transfers the block exclusively to the requester from the
 // Unowned or Shared state: invalidations go to the other sharers, which
 // acknowledge directly to the requester; the grant carries the expected
@@ -236,140 +432,6 @@ func (h *HomeCtl) grantExclusive(m *msg, base arch.Addr, e *dir.Entry, scGrant b
 	}
 	h.reply(m, r)
 }
-
-func (h *HomeCtl) handleSCHome(m *msg, base arch.Addr, e *dir.Entry) {
-	if e.State == dir.Shared && e.Sharers.Has(m.requester) {
-		// No write intervened since the reservation was set (any write
-		// would have invalidated the requester's copy first): succeed.
-		h.grantExclusive(m, base, e, true)
-		return
-	}
-	// Exclusive elsewhere or unowned: fail, per the paper's protocol.
-	r := h.sys.newMsg()
-	*r = msg{kind: mSCFail}
-	h.reply(m, r)
-}
-
-func (h *HomeCtl) handleCASHome(m *msg, base arch.Addr, e *dir.Entry) {
-	switch e.State {
-	case dir.Unowned, dir.Shared:
-		old := h.mod.ReadWord(m.addr)
-		if old == m.val {
-			// Comparison succeeds at home: behave like INV (the requester
-			// acquires an exclusive copy and performs the swap locally).
-			h.grantExclusive(m, base, e, false)
-			return
-		}
-		fail := h.sys.newMsg()
-		*fail = msg{kind: mCASFail, val: old}
-		if h.sys.cfg.CAS == CASShare {
-			e.State = dir.Shared
-			e.Sharers.Add(m.requester)
-			fail.data = h.mod.ReadBlock(base)
-			fail.hasData = true
-		}
-		h.reply(m, fail)
-	case dir.Exclusive:
-		if e.Owner == m.requester {
-			h.nak(m)
-			return
-		}
-		// Compare at the owner, which has the most up-to-date copy.
-		h.recall(m, base, e.Owner, mCASFwd)
-	default:
-		h.nak(m)
-	}
-}
-
-// handleDataReturn processes dirty data arriving at the home: ordinary
-// write-backs (eviction or drop_copy), and the owner's responses to
-// recalls and forwarded CAS comparisons.
-func (h *HomeCtl) handleDataReturn(m *msg, base arch.Addr) {
-	e := h.dir.Entry(base)
-	if t, inFlight := h.busy[base]; inFlight {
-		if m.src != t.owner {
-			panic(fmt.Sprintf("core: home %d got %v for busy %#x from %d, expected %d",
-				h.node, m.kind, base, m.src, t.owner))
-		}
-		h.mod.WriteBlock(base, m.data)
-		if m.kind == mWBShare {
-			// The owner kept a read-only copy (read recall or INVs fail).
-			e.State = dir.Shared
-			e.Sharers = 0
-			e.Sharers.Add(t.owner)
-			e.Owner = 0
-		} else {
-			e.State = dir.Unowned
-			e.Sharers = 0
-			e.Owner = 0
-		}
-		delete(h.busy, base)
-		e.Check(base)
-		if t.orig != nil {
-			// Replay the retained request against the refreshed directory
-			// state; the chain accumulated so far carries over, giving the
-			// paper's 4-serialized-message remote-exclusive store path.
-			// dispatchRequest recycles it unless a second recall retains it.
-			orig := t.orig
-			orig.chain = m.chain
-			h.dispatchRequest(orig, base)
-		}
-		return
-	}
-	// Spontaneous write-back from the recorded owner.
-	if e.State != dir.Exclusive || e.Owner != m.src {
-		panic(fmt.Sprintf("core: home %d got %v for %#x in state %v from %d",
-			h.node, m.kind, base, e.State, m.src))
-	}
-	if m.kind != mWB {
-		panic(fmt.Sprintf("core: unexpected %v outside a recall", m.kind))
-	}
-	h.mod.WriteBlock(base, m.data)
-	e.State = dir.Unowned
-	e.Owner = 0
-	e.Check(base)
-}
-
-func (h *HomeCtl) handleDropS(m *msg, base arch.Addr) {
-	e := h.dir.Entry(base)
-	// The drop hint may be stale (the sharer was already invalidated or
-	// the block moved on); act only if the sender is still recorded.
-	if e.State == dir.Shared && e.Sharers.Has(m.src) {
-		e.Sharers.Remove(m.src)
-		if e.Sharers.Empty() {
-			e.State = dir.Unowned
-		}
-	}
-}
-
-func (h *HomeCtl) handleRecallNak(m *msg, base arch.Addr) {
-	t, inFlight := h.busy[base]
-	if !inFlight || t.owner != m.src || t.orig == nil {
-		// Stale: the write-back arrived first and completed the recall.
-		return
-	}
-	// The owner's copy is already on its way back as a write-back. NAK the
-	// waiting requester (it will retry, per the paper's drop_copy
-	// discussion) and hold the block until the write-back lands.
-	h.nak(t.orig)
-	h.sys.freeMsg(t.orig)
-	t.orig = nil
-	h.busy[base] = t
-}
-
-func (h *HomeCtl) handleCASRel(m *msg, base arch.Addr) {
-	t, inFlight := h.busy[base]
-	if !inFlight || t.owner != m.src {
-		return
-	}
-	// INVd failure handled entirely at the owner; ownership is unchanged.
-	if t.orig != nil {
-		h.sys.freeMsg(t.orig)
-	}
-	delete(h.busy, base)
-}
-
-// ------------------------------------------------------- UNC and UPD ----
 
 // execMem performs an operation at the memory: the locus of computational
 // power for the UNC and UPD implementations.
@@ -432,55 +494,4 @@ func (h *HomeCtl) reservations(e *dir.Entry) *dir.ResvState {
 	}
 	rs.Wake()
 	return rs
-}
-
-func (h *HomeCtl) handleUncOp(m *msg, base arch.Addr, e *dir.Entry) {
-	val, ok, _, serial, hint := h.execMem(e, m)
-	r := h.sys.newMsg()
-	*r = msg{kind: mUncReply, val: val, ok: ok, serial: serial, hint: hint}
-	h.reply(m, r)
-}
-
-func (h *HomeCtl) handleUpdRead(m *msg, base arch.Addr, e *dir.Entry) {
-	e.State = dir.Shared
-	e.Sharers.Add(m.requester)
-	r := h.sys.newMsg()
-	*r = msg{kind: mDataS, data: h.mod.ReadBlock(base), hasData: true}
-	h.reply(m, r)
-}
-
-func (h *HomeCtl) handleUpdOp(m *msg, base arch.Addr, e *dir.Entry) {
-	val, ok, wrote, serial, hint := h.execMem(e, m)
-	acks := 0
-	newWord := h.mod.ReadWord(m.addr)
-	// Updates go out only when the value actually changed: a write of the
-	// same value (e.g. test_and_set on an already-held lock) leaves every
-	// cached copy correct. This is why, under UPD, "only successful
-	// writes cause updates" (section 4.3.1).
-	if wrote && newWord != val {
-		targets := e.Sharers
-		targets.Remove(m.requester)
-		acks = targets.Count()
-		for bits, n := uint64(targets), mesh.NodeID(0); bits != 0; bits, n = bits>>1, n+1 {
-			if bits&1 == 0 {
-				continue
-			}
-			h.sys.counters.Updates++
-			upd := h.sys.newMsg()
-			*upd = msg{
-				kind: mUpdate, addr: m.addr, requester: m.requester,
-				updWord: newWord, chain: m.chain,
-			}
-			h.sys.send(h.node, n, upd, false)
-		}
-	}
-	// The requester retains (or acquires) a shared copy of the block.
-	e.State = dir.Shared
-	e.Sharers.Add(m.requester)
-	r := h.sys.newMsg()
-	*r = msg{
-		kind: mUpdReply, val: val, ok: ok, serial: serial, hint: hint,
-		data: h.mod.ReadBlock(base), hasData: true, acks: acks,
-	}
-	h.reply(m, r)
 }

@@ -5,63 +5,43 @@ import (
 
 	"dsm/internal/arch"
 	"dsm/internal/mesh"
+	"dsm/internal/proto"
 )
 
-// msgKind enumerates every protocol message.
-type msgKind uint8
+// msgKind and its constants are the protocol vocabulary from
+// internal/proto; the m-prefixed aliases keep the controller code and
+// traces readable.
+type msgKind = proto.MsgKind
 
 const (
-	// Requests, cache controller -> home.
-	mRead    msgKind = iota // read miss, wants a shared copy
-	mReadEx                 // store/atomic/load_exclusive, wants an exclusive copy
-	mCASHome                // INVd/INVs compare_and_swap at home/owner
-	mSCHome                 // store_conditional check at home
-	mWB                     // write-back of an exclusive copy (eviction or drop_copy)
-	mDropS                  // replacement/drop hint from a shared-copy holder
-	mUncOp                  // UNC-policy operation to be executed at memory
-	mUpdRead                // UPD-policy read miss
-	mUpdOp                  // UPD-policy write/atomic to be executed at memory
-
-	// Replies, home -> requesting cache controller.
-	mDataS    // shared copy grant (also UPD read-miss reply)
-	mDataE    // exclusive copy grant; Acks invalidation acks to expect
-	mNak      // negative acknowledgment; requester retries
-	mCASFail  // INVd/INVs failure (HasData distinguishes INVs)
-	mSCFail   // store_conditional failure determined at home
-	mUncReply // UNC operation result
-	mUpdReply // UPD operation result; Acks update acks to expect
-
-	// Coherence traffic.
-	mInval     // home -> sharer: invalidate; ack to Requester
-	mInvAck    // sharer -> requester
-	mRecallE   // home -> owner: surrender exclusive copy for a waiting request
-	mRecallS   // home -> owner: downgrade to shared for a waiting read
-	mCASFwd    // home -> owner: compare at owner (INVd/INVs)
-	mWBRecall  // owner -> home: data in response to mRecallE/successful mCASFwd
-	mWBShare   // owner -> home: data, owner kept a shared copy (mRecallS/INVs fail)
-	mRecallNak // owner -> home: recalled line no longer present (write-back races)
-	mCASRel    // owner -> home: INVd failure handled at owner; clear busy state
-	mUpdate    // home -> sharer: UPD write of one word; ack to Requester
-	mUpdAck    // sharer -> requester
+	mRead      = proto.KRead
+	mReadEx    = proto.KReadEx
+	mCASHome   = proto.KCASHome
+	mSCHome    = proto.KSCHome
+	mWB        = proto.KWB
+	mDropS     = proto.KDropS
+	mUncOp     = proto.KUncOp
+	mUpdRead   = proto.KUpdRead
+	mUpdOp     = proto.KUpdOp
+	mDataS     = proto.KDataS
+	mDataE     = proto.KDataE
+	mNak       = proto.KNak
+	mCASFail   = proto.KCASFail
+	mSCFail    = proto.KSCFail
+	mUncReply  = proto.KUncReply
+	mUpdReply  = proto.KUpdReply
+	mInval     = proto.KInval
+	mInvAck    = proto.KInvAck
+	mRecallE   = proto.KRecallE
+	mRecallS   = proto.KRecallS
+	mCASFwd    = proto.KCASFwd
+	mWBRecall  = proto.KWBRecall
+	mWBShare   = proto.KWBShare
+	mRecallNak = proto.KRecallNak
+	mCASRel    = proto.KCASRel
+	mUpdate    = proto.KUpdate
+	mUpdAck    = proto.KUpdAck
 )
-
-var msgNames = [...]string{
-	mRead: "read", mReadEx: "read-ex", mCASHome: "cas-home", mSCHome: "sc-home",
-	mWB: "wb", mDropS: "drop-s", mUncOp: "unc-op", mUpdRead: "upd-read",
-	mUpdOp: "upd-op", mDataS: "data-s", mDataE: "data-e", mNak: "nak",
-	mCASFail: "cas-fail", mSCFail: "sc-fail", mUncReply: "unc-reply",
-	mUpdReply: "upd-reply", mInval: "inval", mInvAck: "inv-ack",
-	mRecallE: "recall-e", mRecallS: "recall-s", mCASFwd: "cas-fwd",
-	mWBRecall: "wb-recall", mWBShare: "wb-share", mRecallNak: "recall-nak",
-	mCASRel: "cas-rel", mUpdate: "update", mUpdAck: "upd-ack",
-}
-
-func (k msgKind) String() string {
-	if int(k) < len(msgNames) {
-		return msgNames[k]
-	}
-	return "msg?"
-}
 
 // msg is one protocol message. A single struct covers all kinds; unused
 // fields are zero.
@@ -88,8 +68,6 @@ type msg struct {
 	ok         bool      // operation success (CAS/SC), or compare outcome
 	serial     arch.Word // LL serial number (serial reservation scheme)
 	hint       bool      // LL beyond-limit failure hint
-	casOK      bool      // mWBRecall: recall caused by a successful CASFwd
-	casFail    bool      // mWBShare: data return caused by a failed INVs CAS
 	updWord    arch.Word // mUpdate: new value of the word at addr
 	chain      int       // serialized network messages so far (Table 1)
 	forwardVal arch.Word // mCASFwd/mRecallE carry the original operands

@@ -162,6 +162,100 @@ func TestRaceMatrix(t *testing.T) {
 	}
 }
 
+// TestRaceMatrixRecallReplay sweeps a remote store against the owner's own
+// drop_copy, with a third node as home: the store's read-exclusive forces a
+// recall, so every skew drives the home's retain/replay machinery (the
+// request message is owned by the busy state until a data return replays
+// it — the receiver-frees ownership edge from the message-pool work).
+//
+// The sweep crosses two regimes, both replaying the retained request:
+//
+//   - Small skew: the drop's write-back is already in flight when the
+//     recall reaches node 2, so the recall finds a non-owner and a
+//     RecallNak chases the write-back home. The mesh ejection port is
+//     booked in send order, so the write-back always lands first: the home
+//     replays the retained store off the write-back data return, and the
+//     RecallNak arrives after busy has cleared and must be ignored as
+//     stale. 11 mesh messages; the replayed store inherits the drop's
+//     1-hop chain (Chain 2).
+//   - Large skew: the recall beats the drop, the still-owner surrenders
+//     via mWBRecall, and the replay rides that return instead. 10 mesh
+//     messages; the store sees the full 4-serialized-message remote-
+//     exclusive path (request, recall, data return, grant: Chain 4).
+//
+// Counters and mesh message counts are pinned per skew from the
+// pre-refactor handlers, so the table-driven interpreter must reproduce
+// the transient traffic exactly — including the extra stale RecallNak.
+func TestRaceMatrixRecallReplay(t *testing.T) {
+	type golden struct {
+		c     Counters
+		msgs  uint64
+		chain int
+	}
+	// Goldens per skew, recorded from the hand-coded handler
+	// implementation (PR 9). Each entry includes the priming store and the
+	// final coherent load.
+	quiet := Counters{Requests: 4, LocalHits: 1, Writebacks: 2}
+	nakCross := golden{c: quiet, msgs: 11, chain: 2}  // stale RecallNak crosses the WB
+	surrender := golden{c: quiet, msgs: 10, chain: 4} // owner surrenders to the recall
+	want := map[int]golden{
+		0: nakCross, 5: nakCross, 10: nakCross, 15: nakCross,
+		20: nakCross, 25: nakCross,
+		30: surrender, 35: surrender, 40: surrender, 45: surrender,
+		50: surrender, 55: surrender, 60: surrender, 65: surrender,
+		70: surrender, 75: surrender, 80: surrender,
+	}
+	sawReplay, sawNakCross := false, false
+	for skew := 0; skew <= 80; skew += 5 {
+		h := newH(t)
+		a := h.addrAtHome(3, 0) // home 3; owner 2; requester 0: all distinct
+		h.do(2, OpStore, a, 7)  // node 2 holds the block exclusive and dirty
+		var lr, rr Result
+		remaining := 2
+		h.eng.At(h.eng.Now(), func() {
+			h.sys.Cache(0).Issue(Request{Op: OpStore, Addr: a, Val: 9,
+				Done: func(r Result) { lr = r; remaining-- }})
+		})
+		h.eng.At(h.eng.Now()+sim0(skew), func() {
+			h.sys.Cache(2).Issue(Request{Op: OpDropCopy, Addr: a,
+				Done: func(r Result) { rr = r; remaining-- }})
+		})
+		for remaining > 0 {
+			if !h.eng.Step() {
+				t.Fatalf("skew %d deadlocked", skew)
+			}
+		}
+		h.drain()
+		if final := h.do(1, OpLoad, a).Value; final != 9 {
+			t.Fatalf("skew %d: final %d, want 9 (store must survive the owner's drop)", skew, final)
+		}
+		h.drain()
+		h.sys.CheckCoherence()
+		if !rr.OK {
+			t.Fatalf("skew %d: drop_copy failed: %+v", skew, rr)
+		}
+		got := golden{c: h.sys.Counters(), msgs: h.net.Stats().Messages, chain: lr.Chain}
+		if g, ok := want[skew]; ok && got != g {
+			t.Errorf("skew %d: %+v, want %+v", skew, got, g)
+		}
+		if lr.Chain >= 4 {
+			// The paper's 4-serialized-message remote-exclusive store path:
+			// request, recall, data return, grant — the replay of the
+			// retained request rides the data return.
+			sawReplay = true
+		}
+		if got.msgs == 11 {
+			sawNakCross = true
+		}
+	}
+	if !sawReplay {
+		t.Error("no skew drove the recall retain/replay path (chain >= 4)")
+	}
+	if !sawNakCross {
+		t.Error("no skew drove the stale-RecallNak crossing (write-back racing the recall)")
+	}
+}
+
 // TestRaceMatrixLLSCStore sweeps an LL/SC pair against a racing store: the
 // SC must fail whenever the store's write is ordered between the LL and
 // the SC, and the final value must reflect exactly the operations that

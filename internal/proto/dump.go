@@ -1,0 +1,118 @@
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteTables prints every transition table in a stable human-readable
+// form: one line per rule, "guard -> action, action(operand), ...". The
+// output is pinned by a golden-file test so that any protocol edit —
+// intended or not — shows up as a diff.
+func WriteTables(w io.Writer) error {
+	b := bufio.NewWriter(w)
+
+	fmt.Fprintln(b, "protocol transition tables")
+	fmt.Fprintln(b, "==========================")
+
+	fmt.Fprintln(b, "\ncache start (policy, op) -> rules")
+	for pol := Policy(0); pol < NumPolicies; pol++ {
+		for op := OpKind(0); op < NumOps; op++ {
+			spec := &CacheStart[pol][op]
+			fmt.Fprintf(b, "\n%s %s", pol, op)
+			if spec.Prep != PrepNone {
+				fmt.Fprintf(b, " [%s]", spec.Prep)
+			}
+			fmt.Fprintln(b, ":")
+			writeRules(b, spec.Rules)
+		}
+	}
+
+	fmt.Fprintln(b, "\ncache receive (message) -> rules")
+	for k := MsgKind(0); k < NumMsgKinds; k++ {
+		spec := &CacheRecv[k]
+		if len(spec.Rules) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "\n%s", k)
+		if spec.NeedTxn {
+			fmt.Fprint(b, " [txn]")
+		}
+		if spec.Prep != PrepNone {
+			fmt.Fprintf(b, " [%s]", spec.Prep)
+		}
+		fmt.Fprintln(b, ":")
+		writeRules(b, spec.Rules)
+	}
+
+	fmt.Fprintln(b, "\nhome request (state, message) -> rules")
+	for st := HomeState(0); st < NumHomeStates; st++ {
+		for k := MsgKind(0); k < NumMsgKinds; k++ {
+			rules := HomeReq[st][k]
+			if len(rules) == 0 {
+				continue
+			}
+			fmt.Fprintf(b, "\n%s %s:\n", st, k)
+			writeHomeRules(b, rules)
+		}
+	}
+
+	fmt.Fprintln(b, "\nhome return (message) -> rules")
+	for k := MsgKind(0); k < NumMsgKinds; k++ {
+		rules := HomeRet[k]
+		if len(rules) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "\n%s:\n", k)
+		writeHomeRules(b, rules)
+	}
+
+	return b.Flush()
+}
+
+func writeRules(b *bufio.Writer, rules []Rule) {
+	for _, r := range rules {
+		fmt.Fprintf(b, "  %s ->", r.Guard)
+		for i, a := range r.Actions {
+			if i > 0 {
+				fmt.Fprint(b, ",")
+			}
+			fmt.Fprintf(b, " %s", actString(a))
+		}
+		fmt.Fprintln(b)
+	}
+}
+
+func writeHomeRules(b *bufio.Writer, rules []HRule) {
+	for _, r := range rules {
+		fmt.Fprintf(b, "  %s ->", r.Guard)
+		if r.Actions == nil {
+			fmt.Fprint(b, " ignore-stale")
+		}
+		for i, a := range r.Actions {
+			if i > 0 {
+				fmt.Fprint(b, ",")
+			}
+			fmt.Fprintf(b, " %s", hactString(a))
+		}
+		fmt.Fprintln(b)
+	}
+}
+
+// actString renders an action, appending the message operand for the
+// actions that carry one.
+func actString(a Act) string {
+	if a.Do == ASendHome || a.Do == AAckRequester {
+		return fmt.Sprintf("%s(%s)", a.Do, a.Msg)
+	}
+	return a.Do.String()
+}
+
+// hactString renders a home action, appending the forwarded-kind operand.
+func hactString(a HAct) string {
+	if a.Do == HRecall {
+		return fmt.Sprintf("%s(%s)", a.Do, a.Msg)
+	}
+	return a.Do.String()
+}

@@ -1,0 +1,806 @@
+package mc
+
+import (
+	"fmt"
+
+	"dsm/internal/proto"
+)
+
+// interp executes one transition (an issue, a retry, or a message
+// delivery) against a state by interpreting the shared transition tables
+// in internal/proto, mirroring internal/core's bindings on the abstract
+// machine. The first invariant failure is recorded in vio; the transition
+// still runs to completion so the resulting state is well-formed for the
+// visited set.
+type interp struct {
+	cfg *Config
+	st  *state
+	vio *violation
+
+	// Home reply scratch (mirrors HomeCtl's exec fields).
+	exVal    int
+	exOK     bool
+	exWrote  bool
+	exSerial int
+	exHint   bool
+	exAcks   int
+	exVer    int
+	replay   *mmsg
+}
+
+func (in *interp) fail(k Kind, expected bool, format string, args ...any) {
+	if in.vio == nil {
+		in.vio = &violation{kind: k, expected: expected, detail: fmt.Sprintf(format, args...)}
+	}
+}
+
+const home = 0 // the single block's home node
+
+func (in *interp) enqueue(d int, m mmsg) {
+	in.st.q[d] = append(in.st.q[d], m)
+}
+
+// ---------------------------------------------------------- cache side --
+
+// issue starts program step spec on node i (issue and table dispatch are
+// one atomic transition: any delivery that could land between them is
+// explored as a delivery before the issue).
+func (in *interp) issue(i int, spec OpSpec) {
+	s := in.st
+	val2 := spec.Val2
+	if spec.Op == proto.OpSC && val2 == UseLLSerial {
+		val2 = s.llSerial[i]
+	}
+	s.txn[i] = mtxn{active: true, op: spec.Op, val: spec.Val, val2: val2}
+	s.pc[i]++
+	s.snap[i] = s.front
+	in.start(i)
+}
+
+// start interprets the cache-start table entry for the node's transaction.
+func (in *interp) start(i int) {
+	s := in.st
+	spec := &proto.CacheStart[in.cfg.Policy][s.txn[i].op]
+	var l *cline
+	if spec.Prep != proto.PrepNone && s.line[i].present {
+		l = &s.line[i]
+	}
+	in.runCacheRules(i, spec.Rules, nil, l)
+}
+
+// cacheReceive interprets the cache-receive table entry at node i.
+func (in *interp) cacheReceive(i int, m mmsg) {
+	spec := &proto.CacheRecv[m.kind]
+	if len(spec.Rules) == 0 {
+		in.fail(KindProtocol, false, "cache n%d received %v", i, m.kind)
+		return
+	}
+	s := in.st
+	if spec.NeedTxn && !s.txn[i].active {
+		in.fail(KindProtocol, false, "n%d got %v with no transaction outstanding", i, m.kind)
+		return
+	}
+	var l *cline
+	if spec.Prep == proto.PrepPeek && s.line[i].present {
+		l = &s.line[i]
+	}
+	in.runCacheRules(i, spec.Rules, &m, l)
+}
+
+func (in *interp) runCacheRules(i int, rules []proto.Rule, m *mmsg, l *cline) {
+	for r := range rules {
+		if !in.cacheGuard(i, rules[r].Guard, m, l) {
+			continue
+		}
+		for _, a := range rules[r].Actions {
+			l = in.cacheApply(i, a, m, l)
+			if in.vio != nil {
+				return
+			}
+		}
+		return
+	}
+	if m != nil {
+		in.fail(KindProtocol, false, "cache n%d: no rule for %v", i, m.kind)
+	} else {
+		in.fail(KindProtocol, false, "cache n%d: no rule to start %v", i, in.st.txn[i].op)
+	}
+}
+
+func (in *interp) cacheGuard(i int, g proto.CacheGuard, m *mmsg, l *cline) bool {
+	s := in.st
+	t := &s.txn[i]
+	switch g {
+	case proto.GAlways:
+		return true
+	case proto.GHit:
+		return l != nil
+	case proto.GOwned:
+		return l != nil && l.excl
+	case proto.GNotOwned:
+		return l == nil || !l.excl
+	case proto.GLLHintFail:
+		return s.llFail[i]
+	case proto.GNoResv:
+		return l == nil || !l.resv
+	case proto.GCASRemote:
+		return in.cfg.CAS != proto.CASPlain
+	case proto.GCASMatch:
+		return l.val == m.fwdVal
+	case proto.GCASShare:
+		return in.cfg.CAS == proto.CASShare
+	case proto.GOpRead:
+		return t.op == proto.OpLoad || t.op == proto.OpLoadExclusive
+	case proto.GOpLL:
+		return t.op == proto.OpLL
+	case proto.GOpSC:
+		return t.op == proto.OpSC
+	}
+	panic(fmt.Sprintf("mc: unknown cache guard %v", g))
+}
+
+// complete finishes node i's transaction, enforcing the real-time read
+// front: the observed version (obsVer >= 0, the version of the value the
+// operation returned) must not precede anything observed by operations
+// that completed before this one was issued. A violating plain load is
+// expected — the documented read windows — exactly when the coherence
+// message that would repair this node's copy (an update under UPD, an
+// invalidation under INV) is still in flight toward it.
+func (in *interp) complete(i, obsVer int) {
+	s := in.st
+	if obsVer >= 0 {
+		if obsVer < s.snap[i] {
+			in.fail(KindStaleRead,
+				s.txn[i].op == proto.OpLoad && in.repairInFlight(i),
+				"n%d %v returned version %d, but version %d was observed before it was issued",
+				i, s.txn[i].op, obsVer, s.snap[i])
+		}
+		if obsVer > s.front {
+			s.front = obsVer
+		}
+	}
+	s.txn[i] = mtxn{}
+}
+
+// execLine applies the transaction's op to the node's exclusive line (the
+// authoritative copy), mirroring core's execOnLine with ghost stamping.
+func (in *interp) execLine(i int, l *cline) (val int, ok bool, obsVer int) {
+	s := in.st
+	t := &s.txn[i]
+	old := l.val
+	val, ok = old, true
+	write := func(v int) {
+		s.gver++
+		l.val = v
+		l.ver = s.gver
+	}
+	switch t.op {
+	case proto.OpLoadExclusive:
+	case proto.OpStore, proto.OpFetchStore:
+		write(t.val)
+	case proto.OpFetchAdd:
+		write(old + t.val)
+	case proto.OpFetchOr:
+		write(old | t.val)
+	case proto.OpTestAndSet:
+		write(1)
+	case proto.OpCAS:
+		if old == t.val {
+			write(t.val2)
+		} else {
+			ok = false
+		}
+	case proto.OpSC:
+		if l.ver != s.llVer[i] {
+			in.fail(KindSC, false,
+				"n%d SC succeeding on version %d, LL observed %d", i, l.ver, s.llVer[i])
+		}
+		write(t.val)
+		l.resv = false
+	case proto.OpLL:
+		l.resv = true
+		s.llVer[i] = l.ver
+	default:
+		in.fail(KindProtocol, false, "execLine of %v", t.op)
+	}
+	return val, ok, l.ver
+}
+
+func (in *interp) cacheApply(i int, a proto.Act, m *mmsg, l *cline) *cline {
+	s := in.st
+	t := &s.txn[i]
+	switch a.Do {
+	case proto.ACompleteOK:
+		in.complete(i, -1)
+
+	case proto.ACompleteFail:
+		in.complete(i, -1)
+
+	case proto.ACompleteHit:
+		if t.op == proto.OpLL {
+			s.llVer[i] = l.ver
+		}
+		in.complete(i, l.ver)
+
+	case proto.ACountSCFail:
+		// Statistics only in the simulator.
+
+	case proto.AClearLLHint:
+		s.llFail[i] = false
+
+	case proto.ASetResv:
+		l.resv = true
+		s.llVer[i] = l.ver
+
+	case proto.ASendHome:
+		in.enqueue(home, mmsg{kind: a.Msg, src: i, req: i,
+			op: t.op, val: t.val, val2: t.val2, toHome: true})
+
+	case proto.ALocalExec:
+		_, _, ver := in.execLine(i, l)
+		in.complete(i, ver)
+
+	case proto.AEvictLine:
+		if l != nil || s.line[i].present {
+			in.evict(i)
+		}
+
+	case proto.ADropShared:
+		s.line[i] = cline{}
+		in.enqueue(home, mmsg{kind: proto.KDropS, src: i, req: i, toHome: true})
+
+	case proto.AInvalLine:
+		if s.line[i].present {
+			if s.line[i].excl {
+				in.fail(KindProtocol, false, "n%d invalidated while owning", i)
+			}
+			s.line[i] = cline{}
+		}
+
+	case proto.AAckRequester:
+		in.enqueue(m.req, mmsg{kind: a.Msg, src: i, req: m.req})
+
+	case proto.ASurrenderE:
+		in.enqueue(home, mmsg{kind: proto.KWBRecall, src: i, req: m.req,
+			data: l.val, dver: l.ver, hasData: true, toHome: true})
+		s.line[i] = cline{}
+
+	case proto.ASurrenderS:
+		in.enqueue(home, mmsg{kind: proto.KWBShare, src: i, req: m.req,
+			data: l.val, dver: l.ver, hasData: true, toHome: true})
+		s.line[i].excl = false
+
+	case proto.ASendRecallNak:
+		in.enqueue(home, mmsg{kind: proto.KRecallNak, src: i, req: m.req, toHome: true})
+
+	case proto.ACASGive:
+		data, dver := l.val, l.ver
+		s.line[i] = cline{}
+		in.enqueue(home, mmsg{kind: proto.KWBRecall, src: i, req: m.req,
+			data: data, dver: dver, hasData: true, toHome: true})
+
+	case proto.ACASKeepShare:
+		s.line[i].excl = false
+		in.enqueue(home, mmsg{kind: proto.KWBShare, src: i, req: m.req,
+			data: l.val, dver: l.ver, hasData: true, toHome: true})
+
+	case proto.ACASDeny:
+		in.enqueue(m.req, mmsg{kind: proto.KCASFail, src: i, req: m.req,
+			val: l.val, vver: l.ver})
+		in.enqueue(home, mmsg{kind: proto.KCASRel, src: i, req: m.req, toHome: true})
+
+	case proto.AApplyUpdate:
+		l.val = m.updWord
+		l.ver = m.updVer
+
+	case proto.ACountNak:
+		// Statistics only in the simulator.
+
+	case proto.ARetry:
+		t.granted = false
+		t.needAcks = 0
+		t.acks = 0
+		t.retry = true
+
+	case proto.ABumpAck:
+		t.acks++
+
+	case proto.AMergeChain:
+		// Chain accounting is statistics only.
+
+	case proto.AGrant:
+		t.granted = true
+		t.needAcks = m.acks
+
+	case proto.AFillShared:
+		s.line[i] = cline{present: true, val: m.data, ver: m.dver}
+		l = &s.line[i]
+
+	case proto.AFillIfData:
+		if m.hasData {
+			s.line[i] = cline{present: true, val: m.data, ver: m.dver}
+			l = &s.line[i]
+		}
+
+	case proto.AFillExclusive:
+		s.line[i] = cline{present: true, excl: true, val: m.data, ver: m.dver}
+		l = &s.line[i]
+
+	case proto.ASCApply:
+		if m.dver != s.llVer[i] {
+			in.fail(KindSC, false,
+				"n%d SC granted on version %d, LL observed %d", i, m.dver, s.llVer[i])
+		}
+		s.gver++
+		l.val = t.val
+		l.ver = s.gver
+		l.resv = false
+		t.resVal, t.resOK, t.resVer = m.data, true, s.gver
+
+	case proto.AExecLine:
+		t.resVal, t.resOK, t.resVer = in.execLine(i, l)
+
+	case proto.AHintIfLL:
+		if t.op == proto.OpLL {
+			s.llVer[i] = m.vver
+			s.llSerial[i] = m.serial
+			if m.hint {
+				s.llFail[i] = true
+			}
+		}
+
+	case proto.AStashReply:
+		if t.op == proto.OpCAS && m.ok && m.val != t.val {
+			in.fail(KindCAS, false,
+				"n%d CAS reported success over old value %d, expected %d", i, m.val, t.val)
+		}
+		t.resVal, t.resOK, t.resVer = m.val, m.ok, m.vver
+
+	case proto.ACompleteData:
+		in.complete(i, m.dver)
+
+	case proto.ACompleteCASFail:
+		in.complete(i, m.vver)
+
+	case proto.ACompleteSCFail:
+		if s.line[i].present {
+			s.line[i].resv = false
+		}
+		in.complete(i, -1)
+
+	case proto.ACompleteReply:
+		if t.op == proto.OpCAS && m.ok && m.val != t.val {
+			in.fail(KindCAS, false,
+				"n%d CAS reported success over old value %d, expected %d", i, m.val, t.val)
+		}
+		in.complete(i, m.vver)
+
+	case proto.AMaybeFinish:
+		in.maybeFinish(i)
+
+	default:
+		in.fail(KindProtocol, false, "unknown cache action %v", a.Do)
+	}
+	return l
+}
+
+func (in *interp) maybeFinish(i int) {
+	s := in.st
+	t := &s.txn[i]
+	if !t.granted || t.acks < t.needAcks {
+		return
+	}
+	if t.acks > t.needAcks {
+		in.fail(KindAcks, false, "n%d collected %d acks for %d expected", i, t.acks, t.needAcks)
+	}
+	in.complete(i, t.resVer)
+}
+
+// evict mirrors evictVictim/dropINV for the single line.
+func (in *interp) evict(i int) {
+	s := in.st
+	l := &s.line[i]
+	if !l.present {
+		return
+	}
+	if l.excl {
+		in.enqueue(home, mmsg{kind: proto.KWB, src: i, req: i,
+			data: l.val, dver: l.ver, hasData: true, toHome: true})
+	} else {
+		in.enqueue(home, mmsg{kind: proto.KDropS, src: i, req: i, toHome: true})
+	}
+	s.line[i] = cline{}
+}
+
+// ----------------------------------------------------------- home side --
+
+func (in *interp) homeProcess(m mmsg) {
+	if m.kind.IsRequest() {
+		in.homeRequest(m)
+		return
+	}
+	rules := proto.HomeRet[m.kind]
+	if rules == nil {
+		in.fail(KindProtocol, false, "home received %v", m.kind)
+		return
+	}
+	in.runHomeRules(rules, &m)
+}
+
+func (in *interp) homeRequest(m mmsg) {
+	s := in.st
+	if s.busyActive {
+		in.runHomeRules(proto.HomeReq[proto.HBusy][m.kind], &m)
+		return
+	}
+	in.runHomeRules(proto.HomeReq[s.dirState][m.kind], &m)
+}
+
+func (in *interp) runHomeRules(rules []proto.HRule, m *mmsg) {
+	for r := range rules {
+		if !in.homeGuard(rules[r].Guard, m) {
+			continue
+		}
+		for _, a := range rules[r].Actions {
+			in.homeApply(a, m)
+			if in.vio != nil {
+				return
+			}
+		}
+		return
+	}
+	in.fail(KindProtocol, false, "home: no rule for %v", m.kind)
+}
+
+func (in *interp) homeGuard(g proto.HomeGuard, m *mmsg) bool {
+	s := in.st
+	switch g {
+	case proto.HGAlways:
+		return true
+	case proto.HGOwnerIsReq:
+		return s.owner == m.req
+	case proto.HGSharerHasReq:
+		return s.sharers&bit(m.req) != 0
+	case proto.HGCASMatch:
+		return s.mem == m.val
+	case proto.HGCASShare:
+		return in.cfg.CAS == proto.CASShare
+	case proto.HGBusyBlock:
+		return s.busyActive
+	case proto.HGFromOwnerOrig:
+		return s.busyActive && s.busyOwner == m.src && s.busyHasOrg
+	case proto.HGFromOwner:
+		return s.busyActive && s.busyOwner == m.src
+	}
+	panic(fmt.Sprintf("mc: unknown home guard %v", g))
+}
+
+// homeReply enqueues r to the request's sender with the reply fields the
+// simulator copies over (op in particular: the cache-side tables dispatch
+// replies by the transaction's op, which m carries).
+func (in *interp) homeReply(m *mmsg, r mmsg) {
+	r.src = home
+	r.req = m.req
+	r.op = m.op
+	in.enqueue(m.req, r)
+}
+
+func (in *interp) homeApply(a proto.HAct, m *mmsg) {
+	s := in.st
+	switch a.Do {
+	case proto.HNak:
+		in.homeReply(m, mmsg{kind: proto.KNak})
+
+	case proto.HShareReply:
+		s.dirState = proto.HShared
+		s.sharers |= bit(m.req)
+		in.homeReply(m, mmsg{kind: proto.KDataS, data: s.mem, dver: s.mver, hasData: true})
+
+	case proto.HGrantE:
+		in.grantExclusive(m, false)
+
+	case proto.HGrantESC:
+		in.grantExclusive(m, true)
+
+	case proto.HRecall:
+		s.busyActive = true
+		s.busyOwner = s.owner
+		s.busyOrig = *m
+		s.busyHasOrg = true
+		in.enqueue(s.owner, mmsg{kind: a.Msg, src: home, req: m.req,
+			fwdVal: m.val, fwdVal2: m.val2})
+
+	case proto.HSCFail:
+		in.homeReply(m, mmsg{kind: proto.KSCFail})
+
+	case proto.HCASFail:
+		in.homeReply(m, mmsg{kind: proto.KCASFail, val: s.mem, vver: s.mver})
+
+	case proto.HCASFailShare:
+		r := mmsg{kind: proto.KCASFail, val: s.mem, vver: s.mver}
+		s.dirState = proto.HShared
+		s.sharers |= bit(m.req)
+		r.data, r.dver, r.hasData = s.mem, s.mver, true
+		in.homeReply(m, r)
+
+	case proto.HExec:
+		in.execMem(m)
+		in.exAcks = 0
+
+	case proto.HUncReply:
+		in.homeReply(m, mmsg{kind: proto.KUncReply, val: in.exVal, ok: in.exOK,
+			serial: in.exSerial, hint: in.exHint, vver: in.exVer})
+
+	case proto.HUpdFanout:
+		if in.exWrote && s.mem != in.exVal {
+			targets := s.sharers &^ bit(m.req)
+			in.exAcks = 0
+			for j := 0; j < in.cfg.Nodes; j++ {
+				if targets&bit(j) == 0 {
+					continue
+				}
+				in.exAcks++
+				in.enqueue(j, mmsg{kind: proto.KUpdate, src: home, req: m.req,
+					updWord: s.mem, updVer: s.mver})
+			}
+		}
+
+	case proto.HUpdReply:
+		s.dirState = proto.HShared
+		s.sharers |= bit(m.req)
+		in.homeReply(m, mmsg{kind: proto.KUpdReply, val: in.exVal, ok: in.exOK,
+			serial: in.exSerial, hint: in.exHint, vver: in.exVer,
+			data: s.mem, dver: s.mver, hasData: true, acks: in.exAcks})
+
+	case proto.HAcceptUnowned, proto.HAcceptShare:
+		if m.src != s.busyOwner {
+			in.fail(KindProtocol, false, "home got %v for busy block from n%d, expected n%d",
+				m.kind, m.src, s.busyOwner)
+			return
+		}
+		s.mem, s.mver = m.data, m.dver
+		if a.Do == proto.HAcceptShare {
+			s.dirState = proto.HShared
+			s.sharers = bit(s.busyOwner)
+			s.owner = 0
+		} else {
+			s.dirState = proto.HUnowned
+			s.sharers = 0
+			s.owner = 0
+		}
+		s.busyActive = false
+		if s.busyHasOrg {
+			orig := s.busyOrig
+			in.replay = &orig
+			s.busyHasOrg = false
+		}
+
+	case proto.HReplay:
+		if in.replay != nil {
+			orig := *in.replay
+			in.replay = nil
+			in.homeRequest(orig)
+		}
+
+	case proto.HWriteBack:
+		if s.dirState != proto.HExclusive || s.owner != m.src {
+			in.fail(KindProtocol, false, "home got %v in state %v from n%d",
+				m.kind, s.dirState, m.src)
+			return
+		}
+		if m.kind != proto.KWB {
+			in.fail(KindProtocol, false, "unexpected %v outside a recall", m.kind)
+			return
+		}
+		s.mem, s.mver = m.data, m.dver
+		s.dirState = proto.HUnowned
+		s.owner = 0
+
+	case proto.HDropSharer:
+		if s.dirState == proto.HShared && s.sharers&bit(m.src) != 0 {
+			s.sharers &^= bit(m.src)
+			if s.sharers == 0 {
+				s.dirState = proto.HUnowned
+			}
+		}
+
+	case proto.HNakOrig:
+		orig := s.busyOrig
+		in.homeReply(&orig, mmsg{kind: proto.KNak})
+		s.busyHasOrg = false
+
+	case proto.HReleaseBusy:
+		s.busyActive = false
+		s.busyHasOrg = false
+
+	default:
+		in.fail(KindProtocol, false, "unknown home action %v", a.Do)
+	}
+}
+
+func (in *interp) grantExclusive(m *mmsg, scGrant bool) {
+	s := in.st
+	others := s.sharers &^ bit(m.req)
+	acks := 0
+	for j := 0; j < in.cfg.Nodes; j++ {
+		if others&bit(j) == 0 {
+			continue
+		}
+		acks++
+		in.enqueue(j, mmsg{kind: proto.KInval, src: home, req: m.req})
+	}
+	if scGrant && s.mver != s.llVer[m.req] {
+		in.fail(KindSC, false,
+			"home granting SC success on version %d, n%d's LL observed %d",
+			s.mver, m.req, s.llVer[m.req])
+	}
+	s.dirState = proto.HExclusive
+	s.sharers = 0
+	s.owner = m.req
+	in.homeReply(m, mmsg{kind: proto.KDataE, data: s.mem, dver: s.mver,
+		hasData: true, acks: acks, ok: scGrant})
+}
+
+// execMem mirrors HomeCtl.execMem on the abstract memory word, with the
+// reservation schemes inlined and ghost checks for CAS and SC.
+func (in *interp) execMem(m *mmsg) {
+	s := in.st
+	old := s.mem
+	in.exVal, in.exOK = old, true
+	in.exWrote, in.exSerial, in.exHint = false, 0, false
+	write := func(v int) {
+		in.exWrote = true
+		if !s.resvDormant {
+			s.resvHolders = 0
+			s.resvSerial++
+		}
+		// A write that leaves the value unchanged is invisible to readers
+		// (the home suppresses the update fan-out for it, see HUpdFanout),
+		// so it does not advance the ghost version; reservations above are
+		// still consumed.
+		if v != s.mem {
+			s.gver++
+			s.mem, s.mver = v, s.gver
+		}
+	}
+	switch m.op {
+	case proto.OpLoad, proto.OpLoadExclusive:
+	case proto.OpStore, proto.OpFetchStore:
+		write(m.val)
+	case proto.OpFetchAdd:
+		write(old + m.val)
+	case proto.OpFetchOr:
+		write(old | m.val)
+	case proto.OpTestAndSet:
+		write(1)
+	case proto.OpCAS:
+		if old == m.val {
+			write(m.val2)
+		} else {
+			in.exOK = false
+		}
+	case proto.OpLL:
+		s.resvDormant = false
+		switch in.cfg.Resv {
+		case ResvBits:
+			s.resvHolders |= bit(m.req)
+		case ResvLimited:
+			if s.resvHolders&bit(m.req) == 0 {
+				if popcount(s.resvHolders) >= in.cfg.ResvLimit {
+					in.exHint = true
+				} else {
+					s.resvHolders |= bit(m.req)
+				}
+			}
+		case ResvSerial:
+			// Always succeeds; the serial below is the reservation.
+		}
+		in.exSerial = s.resvSerial
+	case proto.OpSC:
+		s.resvDormant = false
+		valid := false
+		switch in.cfg.Resv {
+		case ResvBits, ResvLimited:
+			valid = s.resvHolders&bit(m.req) != 0
+		case ResvSerial:
+			valid = s.resvSerial == m.val2
+		}
+		if valid {
+			if s.mver != s.llVer[m.req] {
+				in.fail(KindSC, false,
+					"home SC success on version %d, n%d's LL observed %d",
+					s.mver, m.req, s.llVer[m.req])
+			}
+			write(m.val)
+		} else {
+			in.exOK = false
+		}
+	default:
+		in.fail(KindProtocol, false, "execMem of %v", m.op)
+	}
+	in.exVer = s.mver
+}
+
+func popcount(b uint) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// --------------------------------------------------------- invariants ---
+
+// checkGlobal enforces the state invariants that must hold after every
+// transition: single-writer (modulo in-flight invalidations) and
+// directory-cache agreement.
+func (in *interp) checkGlobal() {
+	s := in.st
+	owner := -1
+	for i := 0; i < in.cfg.Nodes; i++ {
+		if s.line[i].present && s.line[i].excl {
+			if owner >= 0 {
+				in.fail(KindSWMR, false, "n%d and n%d both hold exclusive copies", owner, i)
+				return
+			}
+			owner = i
+		}
+	}
+	if owner >= 0 {
+		if s.dirState != proto.HExclusive || s.owner != owner {
+			in.fail(KindAgreement, false,
+				"n%d holds exclusively but the directory records state %v owner n%d",
+				owner, s.dirState, s.owner)
+			return
+		}
+		for i := 0; i < in.cfg.Nodes; i++ {
+			if i == owner || !s.line[i].present {
+				continue
+			}
+			if !in.invalInFlight(i) {
+				in.fail(KindSWMR, false,
+					"n%d holds a copy while n%d is exclusive with no invalidation in flight",
+					i, owner)
+				return
+			}
+		}
+	}
+	for i := 0; i < in.cfg.Nodes; i++ {
+		if !s.line[i].present || s.line[i].excl {
+			continue
+		}
+		recorded := s.sharers&bit(i) != 0 ||
+			(s.busyActive && s.busyOwner == i) ||
+			// The upgrade window: the holder is the recorded owner and
+			// its exclusive grant is still in flight toward it.
+			(s.dirState == proto.HExclusive && s.owner == i)
+		if !recorded && !in.invalInFlight(i) {
+			in.fail(KindAgreement, false,
+				"n%d holds a copy the directory does not account for", i)
+			return
+		}
+	}
+}
+
+// invalInFlight reports whether an invalidation is queued toward node i.
+func (in *interp) invalInFlight(i int) bool {
+	for _, m := range in.st.q[i] {
+		if m.kind == proto.KInval {
+			return true
+		}
+	}
+	return false
+}
+
+// repairInFlight reports whether a coherence message that would repair
+// node i's stale copy — an invalidation or a pushed update — is queued
+// toward it. A stale plain-load hit under exactly this condition is the
+// documented read-window behavior.
+func (in *interp) repairInFlight(i int) bool {
+	for _, m := range in.st.q[i] {
+		if m.kind == proto.KInval || m.kind == proto.KUpdate {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,472 @@
+// Package mc is an exhaustive explicit-state model checker for the
+// coherence protocol defined by the transition tables in internal/proto.
+//
+// It is the second interpreter of those tables (internal/core is the
+// first): the same guarded-action rules are bound to a small abstract
+// machine — N nodes sharing one cache block of one word, a directory and
+// memory word at node 0, and per-destination FIFO message queues — and
+// every interleaving of processor issues and message deliveries is
+// explored by breadth-first search over canonicalized states. Because the
+// tables are shared, a protocol edit that breaks an invariant shows up
+// here without touching the simulator.
+//
+// The network model keeps exactly one ordering property of the real mesh:
+// messages bound for the same destination arrive in the order they were
+// sent (the mesh books ejection slots per destination in send order;
+// internal/mesh proves this). Everything else — relative timing of
+// different destinations, memory-bank delays, retry backoffs — is
+// replaced by nondeterministic choice, which over-approximates the
+// simulator's deterministic timing.
+//
+// Invariants checked at every reachable state:
+//
+//   - SWMR: at most one exclusive copy; a read-only copy may coexist with
+//     an exclusive copy elsewhere only while its invalidation is still in
+//     flight (the grant-time fill window).
+//   - Directory-cache agreement: every cached copy is accounted for by
+//     the directory (recorded as sharer/owner, or covered by an in-flight
+//     invalidation); an exclusive copy's holder is the recorded owner.
+//   - Ack conservation: a granted transaction never collects more
+//     acknowledgments than the grant promised.
+//   - Completion: no reachable state is stuck (a state with no enabled
+//     transition must have every program finished, no transaction
+//     outstanding, and empty queues).
+//   - Real-time reads: a completing operation must observe a value at
+//     least as new as everything observed by operations that completed
+//     before it was issued (ghost version front). The documented
+//     plain-load read windows — UPD update fan-out, and the INV recall
+//     of a dirty line before its grant's invalidation acks are in —
+//     violate exactly this and are reported as expected.
+//   - CAS atomicity: a compare_and_swap succeeds iff the authoritative
+//     copy held the expected value at its execution point.
+//   - LL/SC validity: a store_conditional that the protocol lets succeed
+//     must find the authoritative copy unwritten since the reservation's
+//     load_linked observed it.
+//   - Quiescent coherence: in terminal states every cached copy matches
+//     the final memory version.
+//
+// On a violation the checker reports the BFS-minimal trace of issue and
+// delivery steps that reaches it.
+package mc
+
+import (
+	"fmt"
+	"strings"
+
+	"dsm/internal/proto"
+)
+
+// Resv selects the memory-side reservation scheme for LL/SC under the
+// UNC and UPD policies (mirrors the simulator's dir.ResvScheme).
+type Resv int
+
+const (
+	ResvBits    Resv = iota // full bit vector of reserving nodes
+	ResvLimited             // bounded vector with a beyond-limit failure hint
+	ResvSerial              // per-block write serial number
+)
+
+func (r Resv) String() string {
+	switch r {
+	case ResvBits:
+		return "bits"
+	case ResvLimited:
+		return "limited"
+	case ResvSerial:
+		return "serial"
+	}
+	return fmt.Sprintf("Resv(%d)", int(r))
+}
+
+// UseLLSerial as an OpSC Val2 substitutes the serial returned by the
+// node's most recent load_linked (programs cannot know it statically).
+const UseLLSerial = -1
+
+// OpSpec is one program step: an operation with its operands.
+type OpSpec struct {
+	Op   proto.OpKind
+	Val  int
+	Val2 int
+}
+
+// Config is one closed model-checking instance.
+type Config struct {
+	Nodes     int // 2 or 3; node 0 is the home
+	Policy    proto.Policy
+	CAS       proto.CASVariant
+	Resv      Resv
+	ResvLimit int
+	Progs     [][]OpSpec // per-node programs, len == Nodes, each <= MaxOps
+	PreShare  []int      // nodes seeded with a read-only copy (and in the directory)
+	MaxStates int        // safety bound; 0 means DefaultMaxStates
+}
+
+// MaxOps bounds outstanding work per node: with one blocking processor
+// per node this is the program length.
+const MaxOps = 3
+
+// DefaultMaxStates bounds the search when Config.MaxStates is zero.
+const DefaultMaxStates = 2_000_000
+
+const maxNodes = 3
+
+// Kind classifies a violation.
+type Kind string
+
+const (
+	KindSWMR       Kind = "swmr"
+	KindAgreement  Kind = "dir-agreement"
+	KindAcks       Kind = "ack-overflow"
+	KindDeadlock   Kind = "deadlock"
+	KindStaleRead  Kind = "stale-read"
+	KindCAS        Kind = "cas-atomicity"
+	KindSC         Kind = "sc-validity"
+	KindQuiescent  Kind = "quiescent-stale"
+	KindProtocol   Kind = "protocol"
+	KindStateBound Kind = "state-bound"
+)
+
+// Violation is one invariant failure with its minimal reproducing trace.
+type Violation struct {
+	Kind Kind
+	// Expected marks violations the protocol is documented to exhibit: the
+	// plain-load read windows (EXPERIMENTS.md), where a new value escapes
+	// to one reader while another node still holds a stale copy whose
+	// coherence message is in flight. Under UPD the home pushes updates
+	// that reach sharers at different times; under INV a recalled dirty
+	// line propagates through the home before the writer has collected
+	// every invalidation ack. Both are flagged on the same mechanistic
+	// signature: a plain load hit on a copy with a pending invalidation or
+	// update toward it. They are properties of the protocols, not table
+	// bugs.
+	Expected bool
+	Detail   string
+	Trace    []string // issue/deliver steps from the initial state
+}
+
+func (v Violation) String() string {
+	tag := ""
+	if v.Expected {
+		tag = " (expected)"
+	}
+	return fmt.Sprintf("%s%s: %s\n  trace:\n    %s",
+		v.Kind, tag, v.Detail, strings.Join(v.Trace, "\n    "))
+}
+
+// Report is the result of one Check run.
+type Report struct {
+	States     int // distinct states explored
+	Terminals  int // quiescent all-done states reached
+	Violations []Violation
+}
+
+// Unexpected returns the violations not flagged Expected.
+func (r Report) Unexpected() []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if !v.Expected {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// mmsg is one in-flight protocol message in the abstract machine. The
+// block payload is a single word (data) with its ghost version (dver);
+// scalar replies carry the version of the word they report (vver).
+type mmsg struct {
+	kind    proto.MsgKind
+	src     int
+	req     int // requester
+	op      proto.OpKind
+	val     int
+	val2    int
+	data    int
+	dver    int
+	hasData bool
+	acks    int
+	ok      bool
+	serial  int
+	hint    bool
+	updWord int
+	updVer  int
+	vver    int
+	fwdVal  int
+	fwdVal2 int
+	toHome  bool
+}
+
+// cline is a node's (single) cache line.
+type cline struct {
+	present bool
+	excl    bool
+	val     int
+	ver     int
+	resv    bool // LL reservation register points at this block
+}
+
+// mtxn is a node's outstanding transaction.
+type mtxn struct {
+	active   bool
+	op       proto.OpKind
+	val      int
+	val2     int
+	granted  bool
+	needAcks int
+	acks     int
+	resVal   int
+	resOK    bool
+	resVer   int
+	retry    bool // NAKed; a retry transition restarts it
+}
+
+// state is one explicit state of the abstract machine. It must contain
+// everything the interpreter reads, and nothing else (ghost fields are
+// part of the state so invariant bookkeeping survives the search).
+type state struct {
+	line   [maxNodes]cline
+	llFail [maxNodes]bool
+	txn    [maxNodes]mtxn
+	pc     [maxNodes]int
+
+	// Home (node 0).
+	dirState   proto.HomeState // HUnowned / HShared / HExclusive
+	sharers    uint
+	owner      int
+	busyActive bool
+	busyOwner  int
+	busyOrig   mmsg
+	busyHasOrg bool
+	mem        int
+	mver       int
+
+	// Memory-side reservation state.
+	resvHolders uint
+	resvSerial  int
+	resvDormant bool
+
+	// Per-destination FIFO queues.
+	q [maxNodes][]mmsg
+
+	// Ghost instrumentation.
+	gver     int           // global write counter; stamps authoritative copies
+	front    int           // max version observed by any completed op
+	snap     [maxNodes]int // front at issue of the node's current txn
+	llVer    [maxNodes]int // version observed by the node's last LL
+	llSerial [maxNodes]int // serial returned by the node's last LL
+}
+
+func (s *state) clone() *state {
+	n := *s
+	for i := range s.q {
+		if len(s.q[i]) > 0 {
+			n.q[i] = append([]mmsg(nil), s.q[i]...)
+		}
+	}
+	return &n
+}
+
+// key canonicalizes the state for the visited set. fmt's struct printing
+// is deterministic and covers the queue contents in order.
+func (s *state) key() string {
+	return fmt.Sprintf("%v|%v|%v|%v|%v %v %v %v %v %v %v %v %v %v|%v %v|%v|%v %v %v %v %v",
+		s.line, s.llFail, s.txn, s.pc,
+		s.dirState, s.sharers, s.owner, s.busyActive, s.busyOwner, s.busyOrig, s.busyHasOrg,
+		s.mem, s.mver, s.resvHolders,
+		s.resvSerial, s.resvDormant,
+		s.q,
+		s.gver, s.front, s.snap, s.llVer, s.llSerial)
+}
+
+func bit(n int) uint { return 1 << uint(n) }
+
+// Check exhaustively explores cfg and reports every distinct violation
+// kind with its BFS-minimal trace. Exploration continues past violating
+// states so one expected violation does not mask a different bug.
+func Check(cfg Config) Report {
+	if cfg.Nodes < 2 || cfg.Nodes > maxNodes {
+		panic(fmt.Sprintf("mc: Nodes must be 2..%d, got %d", maxNodes, cfg.Nodes))
+	}
+	if len(cfg.Progs) != cfg.Nodes {
+		panic("mc: len(Progs) must equal Nodes")
+	}
+	for i, p := range cfg.Progs {
+		if len(p) > MaxOps {
+			panic(fmt.Sprintf("mc: program %d longer than %d ops", i, MaxOps))
+		}
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+
+	// The zero HomeState is HBusy; a fresh directory entry is unowned.
+	init := &state{dirState: proto.HUnowned}
+	for _, n := range cfg.PreShare {
+		init.line[n] = cline{present: true, val: init.mem, ver: init.mver}
+		init.sharers |= bit(n)
+		init.dirState = proto.HShared
+	}
+	init.resvDormant = true
+
+	type node struct {
+		st     *state
+		parent int
+		label  string
+	}
+	nodes := []node{{st: init, parent: -1}}
+	seen := map[string]int{init.key(): 0}
+	rep := Report{}
+	seenKinds := map[Kind]bool{}
+
+	traceOf := func(idx int, last string) []string {
+		var rev []string
+		if last != "" {
+			rev = append(rev, last)
+		}
+		for i := idx; i > 0; i = nodes[i].parent {
+			rev = append(rev, nodes[i].label)
+		}
+		out := make([]string, len(rev))
+		for i, s := range rev {
+			out[len(rev)-1-i] = s
+		}
+		return out
+	}
+	record := func(idx int, step string, v *violation) {
+		if v == nil || seenKinds[v.kind] {
+			return
+		}
+		seenKinds[v.kind] = true
+		rep.Violations = append(rep.Violations, Violation{
+			Kind:     v.kind,
+			Expected: v.expected,
+			Detail:   v.detail,
+			Trace:    traceOf(idx, step),
+		})
+	}
+
+	for head := 0; head < len(nodes); head++ {
+		if len(nodes) > maxStates {
+			record(head, "", &violation{kind: KindStateBound,
+				detail: fmt.Sprintf("state bound %d exceeded", maxStates)})
+			break
+		}
+		cur := nodes[head].st
+		moved := false
+		expand := func(label string, next *state, v *violation) {
+			moved = true
+			if v != nil {
+				record(head, label, v)
+				// A violating successor is still canonicalized and explored
+				// so the search terminates and other kinds surface.
+			}
+			k := next.key()
+			if _, ok := seen[k]; ok {
+				return
+			}
+			seen[k] = len(nodes)
+			nodes = append(nodes, node{st: next, parent: head, label: label})
+		}
+
+		// Processor issues and retries.
+		for i := 0; i < cfg.Nodes; i++ {
+			if cur.txn[i].active && cur.txn[i].retry {
+				next := cur.clone()
+				in := interp{cfg: &cfg, st: next}
+				op := next.txn[i].op
+				next.txn[i].retry = false
+				in.start(i)
+				if in.vio == nil {
+					in.checkGlobal()
+				}
+				expand(fmt.Sprintf("retry n%d %v", i, op), next, in.vio)
+				continue
+			}
+			if !cur.txn[i].active && cur.pc[i] < len(cfg.Progs[i]) {
+				spec := cfg.Progs[i][cur.pc[i]]
+				next := cur.clone()
+				in := interp{cfg: &cfg, st: next}
+				in.issue(i, spec)
+				if in.vio == nil {
+					in.checkGlobal()
+				}
+				expand(fmt.Sprintf("issue n%d %v", i, spec.Op), next, in.vio)
+			}
+		}
+
+		// Message deliveries, one destination queue head at a time.
+		for d := 0; d < cfg.Nodes; d++ {
+			if len(cur.q[d]) == 0 {
+				continue
+			}
+			m := cur.q[d][0]
+			next := cur.clone()
+			next.q[d] = next.q[d][1:]
+			if len(next.q[d]) == 0 {
+				next.q[d] = nil
+			}
+			in := interp{cfg: &cfg, st: next}
+			if m.toHome {
+				in.homeProcess(m)
+			} else {
+				in.cacheReceive(d, m)
+			}
+			if in.vio == nil {
+				in.checkGlobal()
+			}
+			expand(fmt.Sprintf("deliver %v %s n%d->n%d", m.kind, dir3(m.toHome), m.src, d),
+				next, in.vio)
+		}
+
+		if !moved {
+			done := true
+			for i := 0; i < cfg.Nodes; i++ {
+				if cur.txn[i].active || cur.pc[i] < len(cfg.Progs[i]) {
+					done = false
+				}
+			}
+			if !done {
+				record(head, "", &violation{kind: KindDeadlock,
+					detail: "no enabled transition with work outstanding"})
+				continue
+			}
+			rep.Terminals++
+			if v := checkQuiescent(&cfg, cur); v != nil {
+				record(head, "", v)
+			}
+		}
+	}
+	rep.States = len(nodes)
+	return rep
+}
+
+func dir3(toHome bool) string {
+	if toHome {
+		return "(home)"
+	}
+	return "(cache)"
+}
+
+// violation is the interpreter-internal form before the trace is attached.
+type violation struct {
+	kind     Kind
+	expected bool
+	detail   string
+}
+
+// checkQuiescent verifies terminal coherence: with no messages in flight
+// and no work outstanding, every cached copy must hold the final version.
+func checkQuiescent(cfg *Config, s *state) *violation {
+	for i := 0; i < cfg.Nodes; i++ {
+		if s.line[i].present && s.line[i].ver != s.gver {
+			return &violation{
+				kind:     KindQuiescent,
+				expected: cfg.Policy == proto.PolicyUPD,
+				detail: fmt.Sprintf("n%d holds version %d at quiescence, memory is at %d",
+					i, s.line[i].ver, s.gver),
+			}
+		}
+	}
+	return nil
+}

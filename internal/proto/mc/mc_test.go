@@ -1,0 +1,226 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"dsm/internal/proto"
+)
+
+// runClean checks cfg and fails the test on any violation not documented
+// as expected.
+func runClean(t *testing.T, name string, cfg Config) Report {
+	t.Helper()
+	rep := Check(cfg)
+	if rep.Terminals == 0 {
+		t.Errorf("%s: no quiescent terminal state reached", name)
+	}
+	for _, v := range rep.Unexpected() {
+		t.Errorf("%s: unexpected violation:\n%v", name, v)
+	}
+	return rep
+}
+
+func ops(specs ...OpSpec) []OpSpec { return specs }
+
+// TestTwoNodeAllPoliciesAllPrimitives is the exhaustive small-config
+// sweep (and the CI model-checker smoke): two nodes, one block, at most
+// two outstanding operations per node, every policy crossed with every
+// primitive family. Every interleaving must satisfy every invariant —
+// including the real-time read front, which the UPD window cannot break
+// with a single reader.
+func TestTwoNodeAllPoliciesAllPrimitives(t *testing.T) {
+	load := OpSpec{Op: proto.OpLoad}
+	prims := []struct {
+		name  string
+		progs [][]OpSpec
+	}{
+		{"store-store", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpStore, Val: 5}),
+			ops(OpSpec{Op: proto.OpStore, Val: 9})}},
+		{"store-vs-loads", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpStore, Val: 5}),
+			ops(load, load)}},
+		{"load-exclusive", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpLoadExclusive}, load),
+			ops(OpSpec{Op: proto.OpLoadExclusive})}},
+		{"fetch-add", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpFetchAdd, Val: 1}, load),
+			ops(OpSpec{Op: proto.OpFetchAdd, Val: 1})}},
+		{"fetch-store", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpFetchStore, Val: 5}),
+			ops(OpSpec{Op: proto.OpFetchStore, Val: 9})}},
+		{"fetch-or", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpFetchOr, Val: 1}),
+			ops(OpSpec{Op: proto.OpFetchOr, Val: 2})}},
+		{"test-and-set", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpTestAndSet}, load),
+			ops(OpSpec{Op: proto.OpTestAndSet})}},
+		{"cas-race", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpCAS, Val: 0, Val2: 1}),
+			ops(OpSpec{Op: proto.OpCAS, Val: 0, Val2: 2})}},
+		{"cas-vs-owner", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpStore, Val: 3}),
+			ops(OpSpec{Op: proto.OpCAS, Val: 3, Val2: 7})}},
+		{"cas-mismatch", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpStore, Val: 3}),
+			ops(OpSpec{Op: proto.OpCAS, Val: 4, Val2: 7}, load)}},
+		{"drop-copy", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpStore, Val: 5}, OpSpec{Op: proto.OpDropCopy}),
+			ops(load)}},
+		{"ll-sc", [][]OpSpec{
+			ops(OpSpec{Op: proto.OpLL}, OpSpec{Op: proto.OpSC, Val: 5, Val2: UseLLSerial}),
+			ops(OpSpec{Op: proto.OpLL}, OpSpec{Op: proto.OpSC, Val: 9, Val2: UseLLSerial})}},
+	}
+	for _, pol := range []proto.Policy{proto.PolicyINV, proto.PolicyUPD, proto.PolicyUNC} {
+		for _, p := range prims {
+			name := pol.String() + "/" + p.name
+			t.Run(name, func(t *testing.T) {
+				rep := runClean(t, name, Config{
+					Nodes: 2, Policy: pol, CAS: proto.CASPlain,
+					Resv: ResvBits, ResvLimit: 4, Progs: p.progs,
+				})
+				t.Logf("%s: %d states, %d terminals", name, rep.States, rep.Terminals)
+			})
+		}
+	}
+}
+
+// TestCASVariants drives the three CAS implementations (plain recall,
+// owner-side deny, owner-side share) through the owner-held and
+// mismatch cases.
+func TestCASVariants(t *testing.T) {
+	load := OpSpec{Op: proto.OpLoad}
+	progSets := [][][]OpSpec{
+		{ops(OpSpec{Op: proto.OpStore, Val: 3}), ops(OpSpec{Op: proto.OpCAS, Val: 3, Val2: 7})},
+		{ops(OpSpec{Op: proto.OpStore, Val: 3}), ops(OpSpec{Op: proto.OpCAS, Val: 4, Val2: 7}, load)},
+		{ops(OpSpec{Op: proto.OpCAS, Val: 0, Val2: 1}), ops(OpSpec{Op: proto.OpCAS, Val: 0, Val2: 2})},
+	}
+	for _, cas := range []proto.CASVariant{proto.CASPlain, proto.CASDeny, proto.CASShare} {
+		for pi, progs := range progSets {
+			name := cas.String()
+			rep := runClean(t, name, Config{
+				Nodes: 2, Policy: proto.PolicyINV, CAS: cas,
+				Resv: ResvBits, ResvLimit: 4, Progs: progs,
+			})
+			t.Logf("%s/progs%d: %d states", name, pi, rep.States)
+		}
+	}
+}
+
+// TestReservationSchemes drives memory-side LL/SC under each reservation
+// scheme for the UNC and UPD policies, including the limited scheme with
+// limit 1 (the beyond-limit hint makes the loser's SC fail locally).
+func TestReservationSchemes(t *testing.T) {
+	llsc := [][]OpSpec{
+		ops(OpSpec{Op: proto.OpLL}, OpSpec{Op: proto.OpSC, Val: 5, Val2: UseLLSerial}),
+		ops(OpSpec{Op: proto.OpLL}, OpSpec{Op: proto.OpSC, Val: 9, Val2: UseLLSerial}),
+	}
+	for _, pol := range []proto.Policy{proto.PolicyUNC, proto.PolicyUPD} {
+		for _, rs := range []struct {
+			r     Resv
+			limit int
+		}{{ResvBits, 4}, {ResvLimited, 1}, {ResvSerial, 0}} {
+			name := pol.String() + "/" + rs.r.String()
+			rep := runClean(t, name, Config{
+				Nodes: 2, Policy: pol, CAS: proto.CASPlain,
+				Resv: rs.r, ResvLimit: rs.limit, Progs: llsc,
+			})
+			t.Logf("%s: %d states", name, rep.States)
+		}
+	}
+}
+
+// TestUPDReadWindowThreeNodes rediscovers the documented single-phase
+// write-update read window (EXPERIMENTS.md, the paper's §2.2-adjacent
+// hazard): the home applies a write and pushes updates that reach the two
+// sharers at different times, so a plain load on the not-yet-updated
+// sharer, issued after a load on the updated sharer completed, observes
+// the values out of order. The checker must flag it as an expected
+// stale-read with the BFS-minimal trace. The same program under INV has
+// its own, narrower, expected window (a recalled dirty line propagates
+// through the home while an old sharer's invalidation is still in
+// flight), which needs the longer recall path to open.
+func TestUPDReadWindowThreeNodes(t *testing.T) {
+	cfg := Config{
+		Nodes: 3, Policy: proto.PolicyUPD, CAS: proto.CASPlain,
+		Resv: ResvBits, ResvLimit: 4,
+		Progs: [][]OpSpec{
+			ops(OpSpec{Op: proto.OpStore, Val: 7}),
+			ops(OpSpec{Op: proto.OpLoad}),
+			ops(OpSpec{Op: proto.OpLoad}),
+		},
+		PreShare: []int{1, 2},
+	}
+	rep := Check(cfg)
+	for _, v := range rep.Unexpected() {
+		t.Errorf("unexpected violation:\n%v", v)
+	}
+	var win *Violation
+	for i := range rep.Violations {
+		if rep.Violations[i].Kind == KindStaleRead {
+			win = &rep.Violations[i]
+		}
+	}
+	if win == nil {
+		t.Fatalf("UPD read window not rediscovered (%d states)", rep.States)
+	}
+	if !win.Expected {
+		t.Errorf("read window must be flagged expected, got %+v", *win)
+	}
+	// Minimal counterexample: issue the store, execute it at the home,
+	// deliver one sharer's update, read there, then read on the stale
+	// sharer. BFS guarantees no shorter trace exists; pin the length so
+	// the trace stays minimal.
+	if len(win.Trace) != 5 {
+		t.Errorf("expected the 5-step minimal trace, got %d steps:\n%s",
+			len(win.Trace), strings.Join(win.Trace, "\n"))
+	}
+	t.Logf("read-window counterexample:\n%v", *win)
+
+	inv := cfg
+	inv.Policy = proto.PolicyINV
+	repINV := Check(inv)
+	for _, v := range repINV.Unexpected() {
+		t.Errorf("INV run of the window program: unexpected violation:\n%v", v)
+	}
+	for _, v := range repINV.Violations {
+		if v.Kind == KindStaleRead && len(v.Trace) <= len(win.Trace) {
+			t.Errorf("INV recall window should need a longer trace than UPD's %d steps, got:\n%v",
+				len(win.Trace), v)
+		}
+	}
+
+	// With a single reader the window needs no third node to observe the
+	// reorder, so two-node UPD stays clean — the reason the exhaustive
+	// two-node sweep passes for every primitive.
+	two := Config{
+		Nodes: 2, Policy: proto.PolicyUPD, CAS: proto.CASPlain,
+		Resv: ResvBits, ResvLimit: 4,
+		Progs: [][]OpSpec{
+			ops(OpSpec{Op: proto.OpStore, Val: 7}),
+			ops(OpSpec{Op: proto.OpLoad}, OpSpec{Op: proto.OpLoad}),
+		},
+		PreShare: []int{1},
+	}
+	repTwo := Check(two)
+	for _, v := range repTwo.Violations {
+		t.Errorf("two-node UPD must be clean, got:\n%v", v)
+	}
+}
+
+// TestThreeNodeINVContention is a deeper INV run: three nodes race a
+// store, an atomic, and loads through recall, replay, and eviction paths.
+func TestThreeNodeINVContention(t *testing.T) {
+	rep := runClean(t, "inv-3", Config{
+		Nodes: 3, Policy: proto.PolicyINV, CAS: proto.CASPlain,
+		Resv: ResvBits, ResvLimit: 4,
+		Progs: [][]OpSpec{
+			ops(OpSpec{Op: proto.OpStore, Val: 5}),
+			ops(OpSpec{Op: proto.OpFetchAdd, Val: 1}),
+			ops(OpSpec{Op: proto.OpLoad}, OpSpec{Op: proto.OpLoad}),
+		},
+		PreShare: []int{2},
+	})
+	t.Logf("inv-3: %d states, %d terminals", rep.States, rep.Terminals)
+}
